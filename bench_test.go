@@ -1,0 +1,329 @@
+package sspc
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+)
+
+// The figure benchmarks regenerate every table/figure of the paper at a
+// reduced-but-shape-preserving scale (see EXPERIMENTS.md for full-scale
+// paper-vs-measured numbers from cmd/experiments).
+
+// benchCfg is the reduced configuration used by the per-figure benchmarks.
+func benchCfg() experiments.Config {
+	return experiments.Config{Repeats: 1, Scale: 0.25, Seed: 1}
+}
+
+func runFigure(b *testing.B, fn func() (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := t.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	runFigure(b, experiments.Figure1)
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	runFigure(b, experiments.Figure2)
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	runFigure(b, func() (*experiments.Table, error) { return experiments.Figure3(benchCfg()) })
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	runFigure(b, func() (*experiments.Table, error) { return experiments.Figure4(benchCfg()) })
+}
+
+func BenchmarkOutlierImmunity(b *testing.B) {
+	runFigure(b, func() (*experiments.Table, error) { return experiments.OutlierImmunity(benchCfg()) })
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	runFigure(b, func() (*experiments.Table, error) { return experiments.Figure5(benchCfg()) })
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	runFigure(b, func() (*experiments.Table, error) { return experiments.Figure6(benchCfg()) })
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	runFigure(b, func() (*experiments.Table, error) { return experiments.Figure7(benchCfg()) })
+}
+
+func BenchmarkFigure8a(b *testing.B) {
+	runFigure(b, func() (*experiments.Table, error) { return experiments.Figure8a(benchCfg()) })
+}
+
+func BenchmarkFigure8b(b *testing.B) {
+	runFigure(b, func() (*experiments.Table, error) { return experiments.Figure8b(benchCfg()) })
+}
+
+func BenchmarkNoisyInputs(b *testing.B) {
+	runFigure(b, func() (*experiments.Table, error) { return experiments.NoisyInputs(benchCfg()) })
+}
+
+// --- Micro-benchmarks of the individual algorithms and hot paths ---
+
+func benchGroundTruth(b *testing.B, n, d, k, l int) *GroundTruth {
+	b.Helper()
+	gt, err := Generate(SynthConfig{N: n, D: d, K: k, AvgDims: l, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gt
+}
+
+func BenchmarkSSPCRun(b *testing.B) {
+	gt := benchGroundTruth(b, 1000, 100, 5, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := DefaultOptions(5)
+		opts.Seed = int64(i)
+		if _, err := Cluster(gt.Data, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSSPCSupervised(b *testing.B) {
+	gt := benchGroundTruth(b, 150, 1000, 5, 10)
+	kn, err := SampleKnowledge(gt, KnowledgeConfig{Kind: ObjectsAndDims, Coverage: 1, Size: 5, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := DefaultOptions(5)
+		opts.Knowledge = kn
+		opts.Seed = int64(i)
+		if _, err := Cluster(gt.Data, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPROCLUSRun(b *testing.B) {
+	gt := benchGroundTruth(b, 1000, 100, 5, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := PROCLUSDefaults(5, 10)
+		opts.Seed = int64(i)
+		if _, err := PROCLUS(gt.Data, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHARPRun(b *testing.B) {
+	gt := benchGroundTruth(b, 300, 50, 4, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HARP(gt.Data, HARPDefaults(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCLARANSRun(b *testing.B) {
+	gt := benchGroundTruth(b, 1000, 100, 5, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := CLARANSDefaults(5)
+		opts.Seed = int64(i)
+		if _, err := CLARANS(gt.Data, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDOCRun(b *testing.B) {
+	gt := benchGroundTruth(b, 300, 30, 3, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := DOCDefaults(3, 15)
+		opts.Seed = int64(i)
+		if _, err := DOC(gt.Data, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkARI(b *testing.B) {
+	gt := benchGroundTruth(b, 5000, 10, 5, 5)
+	pred := make([]int, len(gt.Labels))
+	copy(pred, gt.Labels)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ARI(gt.Labels, pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridBuild(b *testing.B) {
+	gt := benchGroundTruth(b, 5000, 50, 5, 10)
+	dims := []int{1, 7, 23}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := grid.Build(gt.Data, dims, 6, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design-choice studies from DESIGN.md) ---
+
+// ablationARI runs SSPC with the given option tweak and reports mean ARI as
+// a custom benchmark metric, so `go test -bench Ablation` doubles as the
+// ablation study runner.
+func ablationARI(b *testing.B, mutate func(*Options)) {
+	gt := benchGroundTruth(b, 500, 100, 5, 8)
+	total := 0.0
+	count := 0
+	for i := 0; i < b.N; i++ {
+		opts := DefaultOptions(5)
+		opts.Seed = int64(i)
+		mutate(&opts)
+		res, err := Cluster(gt.Data, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := ARI(gt.Labels, res.Assignments)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += a
+		count++
+	}
+	b.ReportMetric(total/float64(count), "ARI/op")
+}
+
+func BenchmarkAblationRepresentative(b *testing.B) {
+	b.Run("median", func(b *testing.B) {
+		ablationARI(b, func(o *Options) { o.Representative = core.MedianRepresentative })
+	})
+	b.Run("mean", func(b *testing.B) {
+		ablationARI(b, func(o *Options) { o.Representative = core.MeanRepresentative })
+	})
+}
+
+func BenchmarkAblationGrid(b *testing.B) {
+	b.Run("g20c3", func(b *testing.B) {
+		ablationARI(b, func(o *Options) { o.Grids, o.GridDims = 20, 3 })
+	})
+	b.Run("g5c3", func(b *testing.B) {
+		ablationARI(b, func(o *Options) { o.Grids, o.GridDims = 5, 3 })
+	})
+	b.Run("g20c2", func(b *testing.B) {
+		ablationARI(b, func(o *Options) { o.Grids, o.GridDims = 20, 2 })
+	})
+	b.Run("g20c4", func(b *testing.B) {
+		ablationARI(b, func(o *Options) { o.Grids, o.GridDims = 20, 4 })
+	})
+}
+
+func BenchmarkAblationInitOrder(b *testing.B) {
+	gt := benchGroundTruth(b, 200, 500, 5, 10)
+	kn, err := SampleKnowledge(gt, KnowledgeConfig{Kind: ObjectsAndDims, Coverage: 0.6, Size: 4, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, order core.InitOrder) {
+		total := 0.0
+		for i := 0; i < b.N; i++ {
+			opts := DefaultOptions(5)
+			opts.Knowledge = kn
+			opts.Order = order
+			opts.Seed = int64(i)
+			res, err := Cluster(gt.Data, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ft, fp := FilterObjects(gt.Labels, res.Assignments, kn.LabeledObjectSet())
+			a, err := ARI(ft, fp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += a
+		}
+		b.ReportMetric(total/float64(b.N), "ARI/op")
+	}
+	b.Run("knowledgeFirst", func(b *testing.B) { run(b, core.KnowledgeFirst) })
+	b.Run("random", func(b *testing.B) { run(b, core.RandomOrder) })
+}
+
+func BenchmarkCLIQUERun(b *testing.B) {
+	gt, err := Generate(SynthConfig{
+		N: 400, D: 8, K: 2, AvgDims: 3,
+		LocalSDMinFrac: 0.01, LocalSDMaxFrac: 0.03, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := CLIQUEDefaults()
+	opts.Tau = 0.08
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := CLIQUE(gt.Data, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBiclusterRun(b *testing.B) {
+	gt := benchGroundTruth(b, 100, 30, 2, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := BiclusterDefaults(2, 50)
+		opts.Seed = int64(i)
+		if _, err := Biclusters(gt.Data, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCOPKMeansRun(b *testing.B) {
+	gt := benchGroundTruth(b, 500, 20, 4, 20)
+	kn, err := SampleKnowledge(gt, KnowledgeConfig{Kind: ObjectsOnly, Coverage: 1, Size: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons := ConstraintsFromKnowledge(kn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := COPKMeansDefaults(4)
+		opts.Seed = int64(i)
+		if _, err := COPKMeans(gt.Data, cons, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidateKnowledge(b *testing.B) {
+	gt := benchGroundTruth(b, 200, 500, 4, 10)
+	kn, err := SampleKnowledge(gt, KnowledgeConfig{Kind: ObjectsAndDims, Coverage: 1, Size: 6, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultOptions(4)
+	opts.Knowledge = kn
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ValidateKnowledge(gt.Data, kn, opts, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

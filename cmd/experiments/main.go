@@ -1,0 +1,79 @@
+// Command experiments regenerates the tables and figures of the SSPC paper
+// (Yip, Cheung, Ng — ICDE 2005).
+//
+// Usage:
+//
+//	experiments -fig all                     # everything, quick scale
+//	experiments -fig 3 -scale 1 -repeats 10  # Figure 3 at full paper scale
+//	experiments -fig 5,6,7                   # a subset
+//
+// Figure ids: 1, 2, 3, 4, 5, 6, 7, 8a, 8b, outliers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "comma-separated figure ids (1,2,3,4,5,6,7,8a,8b,outliers,noisy) or 'all'")
+		repeats = flag.Int("repeats", 3, "repeated runs per configuration (paper: 10)")
+		scale   = flag.Float64("scale", 0.4, "dataset size scale (1.0 = paper)")
+		seed    = flag.Int64("seed", 1, "master random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Repeats: *repeats, Scale: *scale, Seed: *seed}
+
+	type figure struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+	all := []figure{
+		{"1", experiments.Figure1},
+		{"2", experiments.Figure2},
+		{"3", func() (*experiments.Table, error) { return experiments.Figure3(cfg) }},
+		{"4", func() (*experiments.Table, error) { return experiments.Figure4(cfg) }},
+		{"outliers", func() (*experiments.Table, error) { return experiments.OutlierImmunity(cfg) }},
+		{"5", func() (*experiments.Table, error) { return experiments.Figure5(cfg) }},
+		{"6", func() (*experiments.Table, error) { return experiments.Figure6(cfg) }},
+		{"7", func() (*experiments.Table, error) { return experiments.Figure7(cfg) }},
+		{"8a", func() (*experiments.Table, error) { return experiments.Figure8a(cfg) }},
+		{"8b", func() (*experiments.Table, error) { return experiments.Figure8b(cfg) }},
+		{"noisy", func() (*experiments.Table, error) { return experiments.NoisyInputs(cfg) }},
+	}
+
+	want := map[string]bool{}
+	if *fig != "all" {
+		for _, id := range strings.Split(*fig, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	ran := 0
+	for _, f := range all {
+		if *fig != "all" && !want[f.id] {
+			continue
+		}
+		t, err := f.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", f.id, err)
+			os.Exit(1)
+		}
+		if _, err := t.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no figure matched %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,213 @@
+// Command sspc clusters a CSV dataset with SSPC or one of the baseline
+// algorithms (PROCLUS, HARP, CLARANS, DOC).
+//
+// Usage:
+//
+//	sspc -in data.csv -k 5                           # SSPC, scheme m=0.5
+//	sspc -in data.csv -k 5 -scheme p -p 0.05
+//	sspc -in data.csv -k 5 -algo proclus -l 10
+//	sspc -in labeled.csv -k 5 -truth                  # last column = label, report ARI
+//	sspc -in data.csv -k 5 -knowledge kn.txt          # semi-supervised
+//
+// The knowledge file has one entry per line:
+//
+//	object <objectIndex> <class>
+//	dim <dimIndex> <class>
+//
+// Output: one line per object "<index> <cluster>" (−1 = outlier), followed
+// by the selected dimensions of each cluster and summary statistics.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/clarans"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/doc"
+	"repro/internal/eval"
+	"repro/internal/harp"
+	"repro/internal/proclus"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input CSV path (required)")
+		header    = flag.Bool("header", false, "input has a header row")
+		truth     = flag.Bool("truth", false, "last CSV column is the true class label; report ARI")
+		algo      = flag.String("algo", "sspc", "algorithm: sspc | proclus | harp | clarans | doc")
+		k         = flag.Int("k", 0, "number of clusters (required)")
+		scheme    = flag.String("scheme", "m", "SSPC threshold scheme: m | p")
+		m         = flag.Float64("m", 0.5, "SSPC parameter m (scheme m)")
+		p         = flag.Float64("p", 0.1, "SSPC parameter p (scheme p)")
+		l         = flag.Int("l", 0, "PROCLUS average cluster dimensionality (required for proclus)")
+		w         = flag.Float64("w", 0, "DOC box half-width (required for doc)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		knowledge = flag.String("knowledge", "", "knowledge file for SSPC (object/dim labels)")
+		normalize = flag.String("normalize", "none", "preprocessing: none | zscore | minmax | robust")
+		validate  = flag.Bool("validate", false, "validate knowledge and drop suspect entries before clustering (SSPC only)")
+		quiet     = flag.Bool("quiet", false, "suppress per-object assignments")
+	)
+	flag.Parse()
+
+	if *in == "" || *k <= 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+
+	var ds *dataset.Dataset
+	var labels []int
+	if *truth {
+		ds, labels, err = dataset.ReadLabeledCSV(bufio.NewReader(f), *header)
+	} else {
+		ds, err = dataset.ReadCSV(bufio.NewReader(f), *header)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	switch *normalize {
+	case "none":
+	case "zscore":
+		ds, err = dataset.ZScoreNormalize(ds)
+	case "minmax":
+		ds, err = dataset.MinMaxNormalize(ds)
+	case "robust":
+		ds, err = dataset.RobustNormalize(ds)
+	default:
+		fail(fmt.Errorf("unknown normalization %q", *normalize))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	var res *cluster.Result
+	var report *core.KnowledgeReport
+	switch *algo {
+	case "sspc":
+		opts := core.DefaultOptions(*k)
+		if *scheme == "p" {
+			opts.Scheme = core.SchemeP
+			opts.P = *p
+		} else {
+			opts.M = *m
+		}
+		opts.Seed = *seed
+		if *knowledge != "" {
+			kn, err := readKnowledge(*knowledge)
+			if err != nil {
+				fail(err)
+			}
+			opts.Knowledge = kn
+		}
+		if *validate {
+			res, report, err = core.RunValidated(ds, opts, 0)
+		} else {
+			res, err = core.Run(ds, opts)
+		}
+	case "proclus":
+		if *l < 2 {
+			fail(fmt.Errorf("proclus requires -l >= 2"))
+		}
+		opts := proclus.DefaultOptions(*k, *l)
+		opts.Seed = *seed
+		res, err = proclus.Run(ds, opts)
+	case "harp":
+		res, err = harp.Run(ds, harp.DefaultOptions(*k))
+	case "clarans":
+		opts := clarans.DefaultOptions(*k)
+		opts.Seed = *seed
+		res, err = clarans.Run(ds, opts)
+	case "doc":
+		if *w <= 0 {
+			fail(fmt.Errorf("doc requires -w > 0"))
+		}
+		opts := doc.DefaultOptions(*k, *w)
+		opts.Seed = *seed
+		res, err = doc.Run(ds, opts)
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	if !*quiet {
+		for i, a := range res.Assignments {
+			fmt.Fprintf(out, "%d %d\n", i, a)
+		}
+	}
+	sizes, outliers := res.Sizes()
+	fmt.Fprintf(out, "# algorithm=%s k=%d score=%.6f iterations=%d\n", *algo, *k, res.Score, res.Iterations)
+	for c, s := range sizes {
+		fmt.Fprintf(out, "# cluster %d: %d objects", c, s)
+		if res.Dims != nil {
+			fmt.Fprintf(out, ", dims %v", res.Dims[c])
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "# outliers: %d\n", outliers)
+	if report != nil && !report.Clean() {
+		fmt.Fprintf(out, "# validation dropped %d objects, %d dims\n",
+			len(report.SuspectObjects), len(report.SuspectDims))
+	}
+	if *truth {
+		a, err := eval.ARI(labels, res.Assignments)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "# ARI=%.4f\n", a)
+	}
+}
+
+// readKnowledge parses the "object <id> <class>" / "dim <id> <class>" file
+// format.
+func readKnowledge(path string) (*dataset.Knowledge, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	kn := dataset.NewKnowledge()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var kind string
+		var id, class int
+		if _, err := fmt.Sscanf(text, "%s %d %d", &kind, &id, &class); err != nil {
+			return nil, fmt.Errorf("%s:%d: %q: %v", path, line, text, err)
+		}
+		switch kind {
+		case "object":
+			kn.LabelObject(id, class)
+		case "dim":
+			kn.LabelDim(id, class)
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown kind %q", path, line, kind)
+		}
+	}
+	return kn, sc.Err()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sspc: %v\n", err)
+	os.Exit(1)
+}

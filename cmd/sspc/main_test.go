@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "kn.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadKnowledgeParsesEntries(t *testing.T) {
+	path := writeTemp(t, `
+# labeled objects
+object 5 0
+object 9 1
+
+# labeled dimensions
+dim 12 0
+dim 12 1
+dim 3 1
+`)
+	kn, err := readKnowledge(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kn.ObjectLabels[5] != 0 || kn.ObjectLabels[9] != 1 {
+		t.Errorf("object labels = %v", kn.ObjectLabels)
+	}
+	d0 := kn.DimsOfClass(0)
+	if len(d0) != 1 || d0[0] != 12 {
+		t.Errorf("class 0 dims = %v", d0)
+	}
+	d1 := kn.DimsOfClass(1)
+	if len(d1) != 2 || d1[0] != 3 || d1[1] != 12 {
+		t.Errorf("class 1 dims = %v", d1)
+	}
+}
+
+func TestReadKnowledgeRejectsBadLines(t *testing.T) {
+	for _, bad := range []string{
+		"object five 0\n",
+		"object 1\n",
+		"banana 1 2\n",
+	} {
+		path := writeTemp(t, bad)
+		if _, err := readKnowledge(path); err == nil {
+			t.Errorf("line %q should fail to parse", bad)
+		}
+	}
+}
+
+func TestReadKnowledgeMissingFile(t *testing.T) {
+	if _, err := readKnowledge("/nonexistent/kn.txt"); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,138 @@
+package sspc
+
+import (
+	"testing"
+)
+
+// TestAlgorithmLandscape is the repository's cross-algorithm integration
+// test: all clustering algorithms run on the same two datasets — one
+// full-space, one extremely low-dimensional — and the relative ordering the
+// paper's evaluation establishes must hold.
+func TestAlgorithmLandscape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-algorithm integration test")
+	}
+
+	// Dataset A: full-space clusters (every dimension relevant).
+	fullGt, err := Generate(SynthConfig{N: 400, D: 12, K: 4, AvgDims: 12, Seed: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dataset B: 5% dimensionality — the paper's hard regime.
+	lowGt, err := Generate(SynthConfig{N: 600, D: 100, K: 4, AvgDims: 5, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowKn, err := SampleKnowledge(lowGt, KnowledgeConfig{
+		Kind: ObjectsAndDims, Coverage: 1, Size: 5, Seed: 62,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type entry struct {
+		name string
+		run  func(gt *GroundTruth) (*Result, error)
+	}
+	best := func(gt *GroundTruth, run func(seed int64) (*Result, error)) *Result {
+		t.Helper()
+		var bestRes *Result
+		for s := int64(0); s < 4; s++ {
+			res, err := run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Validate(gt.Data.N(), gt.Data.D()); err != nil {
+				t.Fatal(err)
+			}
+			if bestRes == nil || res.Better(res.Score, bestRes.Score) {
+				bestRes = res
+			}
+		}
+		return bestRes
+	}
+	score := func(gt *GroundTruth, res *Result) float64 {
+		t.Helper()
+		a, err := ARI(gt.Labels, res.Assignments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	results := map[string]map[string]float64{"full": {}, "low": {}}
+
+	for _, ds := range []struct {
+		key string
+		gt  *GroundTruth
+	}{{"full", fullGt}, {"low", lowGt}} {
+		gt := ds.gt
+		k := gt.Config.K
+		results[ds.key]["sspc"] = score(gt, best(gt, func(s int64) (*Result, error) {
+			o := DefaultOptions(k)
+			o.Seed = s
+			return Cluster(gt.Data, o)
+		}))
+		results[ds.key]["proclus"] = score(gt, best(gt, func(s int64) (*Result, error) {
+			o := PROCLUSDefaults(k, gt.Config.AvgDims)
+			o.Seed = s
+			return PROCLUS(gt.Data, o)
+		}))
+		hr, err := HARP(gt.Data, HARPDefaults(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[ds.key]["harp"] = score(gt, hr)
+		results[ds.key]["clarans"] = score(gt, best(gt, func(s int64) (*Result, error) {
+			o := CLARANSDefaults(k)
+			o.Seed = s
+			return CLARANS(gt.Data, o)
+		}))
+		skm, err := SeedKMeans(gt.Data, nil, SeedKMeansDefaults(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[ds.key]["kmeans"] = score(gt, skm)
+	}
+
+	// Semi-supervised SSPC on the hard dataset.
+	supervised := best(lowGt, func(s int64) (*Result, error) {
+		o := DefaultOptions(4)
+		o.Knowledge = lowKn
+		o.Seed = s
+		return Cluster(lowGt.Data, o)
+	})
+	ft, fp := FilterObjects(lowGt.Labels, supervised.Assignments, lowKn.LabeledObjectSet())
+	supARI, err := ARI(ft, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("full-space: %v", results["full"])
+	t.Logf("5%% dims:    %v", results["low"])
+	t.Logf("5%% dims supervised SSPC: %.3f", supARI)
+
+	// Landscape assertions — the shapes the paper establishes.
+	full, low := results["full"], results["low"]
+	for name, a := range full {
+		if a < 0.6 {
+			t.Errorf("full-space: %s ARI = %.3f, everything should do well", name, a)
+		}
+	}
+	if low["sspc"] < 0.5 {
+		t.Errorf("5%% dims: SSPC ARI = %.3f, should stay strong", low["sspc"])
+	}
+	if low["clarans"] > low["sspc"] || low["kmeans"] > low["sspc"] {
+		t.Errorf("5%% dims: full-space methods (%v, %v) should not beat SSPC (%v)",
+			low["clarans"], low["kmeans"], low["sspc"])
+	}
+	if low["harp"] > low["sspc"]+0.1 {
+		t.Errorf("5%% dims: HARP (%v) should not beat SSPC (%v)", low["harp"], low["sspc"])
+	}
+	if supARI < low["sspc"]-0.05 {
+		t.Errorf("supervision (%v) should not hurt vs raw (%v)", supARI, low["sspc"])
+	}
+	if supARI < 0.8 {
+		t.Errorf("supervised SSPC at 5%% dims = %v, want >= 0.8", supARI)
+	}
+}

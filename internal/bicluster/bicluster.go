@@ -1,0 +1,320 @@
+// Package bicluster implements the Cheng–Church δ-bicluster algorithm
+// (Cheng & Church — ISMB 2000), the biclustering comparator the SSPC paper
+// cites as the second related problem ([7] in §2.1). A δ-bicluster is a
+// submatrix (subset of rows I and columns J) whose mean squared residue
+//
+//	H(I,J) = (1/|I||J|) Σ_{i∈I,j∈J} (a_ij − a_iJ − a_Ij + a_IJ)²
+//
+// is at most δ — rows and columns that move coherently. Biclusters are
+// found one at a time by multiple node deletion followed by node addition;
+// found biclusters are masked with random values before the next search.
+package bicluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Options configures the Cheng–Church search.
+type Options struct {
+	// K is the number of biclusters to extract.
+	K int
+	// Delta is the residue threshold δ.
+	Delta float64
+	// Alpha is the multiple-deletion aggressiveness (rows/columns with
+	// residue above Alpha·H are removed in bulk); the paper uses 1.2.
+	Alpha float64
+	// MinRows and MinCols stop deletion from emptying the bicluster.
+	MinRows, MinCols int
+	Seed             int64
+}
+
+// DefaultOptions returns the paper's usual parameters.
+func DefaultOptions(k int, delta float64) Options {
+	return Options{K: k, Delta: delta, Alpha: 1.2, MinRows: 2, MinCols: 2}
+}
+
+// Bicluster is a discovered submatrix.
+type Bicluster struct {
+	Rows, Cols []int
+	// H is the mean squared residue of the bicluster.
+	H float64
+}
+
+// Run extracts K δ-biclusters. The input matrix is copied; masking does not
+// modify the caller's dataset.
+func Run(ds *dataset.Dataset, opts Options) ([]Bicluster, error) {
+	if ds == nil {
+		return nil, errors.New("bicluster: nil dataset")
+	}
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("bicluster: K = %d", opts.K)
+	}
+	if opts.Delta < 0 {
+		return nil, fmt.Errorf("bicluster: Delta = %v", opts.Delta)
+	}
+	if opts.Alpha < 1 {
+		opts.Alpha = 1.2
+	}
+	if opts.MinRows < 2 {
+		opts.MinRows = 2
+	}
+	if opts.MinCols < 2 {
+		opts.MinCols = 2
+	}
+	n, d := ds.N(), ds.D()
+	rng := stats.NewRNG(opts.Seed)
+
+	// Working copy for masking.
+	a := make([][]float64, n)
+	lo, hi := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		a[i] = append([]float64(nil), ds.Row(i)...)
+	}
+	for j := 0; j < d; j++ {
+		if ds.ColMin(j) < lo {
+			lo = ds.ColMin(j)
+		}
+		if ds.ColMax(j) > hi {
+			hi = ds.ColMax(j)
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+
+	var out []Bicluster
+	for c := 0; c < opts.K; c++ {
+		rows := seq(n)
+		cols := seq(d)
+
+		// Phase 1 — multiple node deletion (Algorithm 2 of the paper), used
+		// only while the matrix is large: drop in bulk every row/column
+		// whose residue exceeds Alpha·H.
+		const bulkThreshold = 100
+		for (len(rows) > bulkThreshold || len(cols) > bulkThreshold) &&
+			(len(rows) > opts.MinRows && len(cols) > opts.MinCols) {
+			h, rowRes, colRes := residues(a, rows, cols)
+			if h <= opts.Delta {
+				break
+			}
+			threshold := opts.Alpha * h
+			newRows := rows[:0:0]
+			for t, i := range rows {
+				if rowRes[t] <= threshold {
+					newRows = append(newRows, i)
+				}
+			}
+			if len(newRows) < opts.MinRows {
+				newRows = rows
+			}
+			newCols := cols[:0:0]
+			for t, j := range cols {
+				if colRes[t] <= threshold {
+					newCols = append(newCols, j)
+				}
+			}
+			if len(newCols) < opts.MinCols {
+				newCols = cols
+			}
+			if len(newRows) == len(rows) && len(newCols) == len(cols) {
+				break // bulk deletion stalled; switch to single deletion
+			}
+			rows, cols = newRows, newCols
+		}
+
+		// Phase 2 — single node deletion (Algorithm 1): repeatedly remove
+		// the one row or column with the largest residue until H <= δ.
+		for len(rows) > opts.MinRows || len(cols) > opts.MinCols {
+			h, rowRes, colRes := residues(a, rows, cols)
+			if h <= opts.Delta {
+				break
+			}
+			worstRow, worstRowVal := -1, -1.0
+			for t := range rows {
+				if rowRes[t] > worstRowVal {
+					worstRowVal = rowRes[t]
+					worstRow = t
+				}
+			}
+			worstCol, worstColVal := -1, -1.0
+			for t := range cols {
+				if colRes[t] > worstColVal {
+					worstColVal = colRes[t]
+					worstCol = t
+				}
+			}
+			switch {
+			case worstRowVal >= worstColVal && len(rows) > opts.MinRows:
+				rows = append(rows[:worstRow], rows[worstRow+1:]...)
+			case len(cols) > opts.MinCols:
+				cols = append(cols[:worstCol], cols[worstCol+1:]...)
+			case len(rows) > opts.MinRows:
+				rows = append(rows[:worstRow], rows[worstRow+1:]...)
+			default:
+				// Both at the floor; cannot shrink further.
+				worstRow = -1
+			}
+			if worstRow == -1 && worstCol == -1 {
+				break
+			}
+			if len(rows) == opts.MinRows && len(cols) == opts.MinCols {
+				break
+			}
+		}
+
+		// Node addition: add back columns then rows whose residue does not
+		// exceed the current H.
+		h, _, _ := residues(a, rows, cols)
+		rows, cols = addNodes(a, rows, cols, h, n, d)
+		h, _, _ = residues(a, rows, cols)
+
+		out = append(out, Bicluster{
+			Rows: append([]int(nil), rows...),
+			Cols: append([]int(nil), cols...),
+			H:    h,
+		})
+
+		// Mask the found bicluster with random values so the next search
+		// finds something else.
+		for _, i := range rows {
+			for _, j := range cols {
+				a[i][j] = rng.Uniform(lo, hi)
+			}
+		}
+	}
+	return out, nil
+}
+
+// residues computes H(I,J) and the per-row / per-column mean squared
+// residues d(i) and d(j).
+func residues(a [][]float64, rows, cols []int) (h float64, rowRes, colRes []float64) {
+	nr, nc := len(rows), len(cols)
+	rowMean := make([]float64, nr)
+	colMean := make([]float64, nc)
+	total := 0.0
+	for ti, i := range rows {
+		for tj, j := range cols {
+			v := a[i][j]
+			rowMean[ti] += v
+			colMean[tj] += v
+			total += v
+		}
+	}
+	for ti := range rowMean {
+		rowMean[ti] /= float64(nc)
+	}
+	for tj := range colMean {
+		colMean[tj] /= float64(nr)
+	}
+	grand := total / float64(nr*nc)
+
+	rowRes = make([]float64, nr)
+	colRes = make([]float64, nc)
+	for ti, i := range rows {
+		for tj, j := range cols {
+			r := a[i][j] - rowMean[ti] - colMean[tj] + grand
+			r2 := r * r
+			h += r2
+			rowRes[ti] += r2
+			colRes[tj] += r2
+		}
+	}
+	h /= float64(nr * nc)
+	for ti := range rowRes {
+		rowRes[ti] /= float64(nc)
+	}
+	for tj := range colRes {
+		colRes[tj] /= float64(nr)
+	}
+	return h, rowRes, colRes
+}
+
+// addNodes adds back columns and rows whose mean squared residue against
+// the bicluster is no worse than h.
+func addNodes(a [][]float64, rows, cols []int, h float64, n, d int) ([]int, []int) {
+	inRows := make([]bool, n)
+	for _, i := range rows {
+		inRows[i] = true
+	}
+	inCols := make([]bool, d)
+	for _, j := range cols {
+		inCols[j] = true
+	}
+
+	// Column addition.
+	nr, nc := len(rows), len(cols)
+	rowMean := make([]float64, nr)
+	grand := 0.0
+	for ti, i := range rows {
+		for _, j := range cols {
+			rowMean[ti] += a[i][j]
+		}
+		grand += rowMean[ti]
+		rowMean[ti] /= float64(nc)
+	}
+	grand /= float64(nr * nc)
+	for j := 0; j < d; j++ {
+		if inCols[j] {
+			continue
+		}
+		colMean := 0.0
+		for _, i := range rows {
+			colMean += a[i][j]
+		}
+		colMean /= float64(nr)
+		res := 0.0
+		for ti, i := range rows {
+			r := a[i][j] - rowMean[ti] - colMean + grand
+			res += r * r
+		}
+		if res/float64(nr) <= h {
+			cols = append(cols, j)
+			inCols[j] = true
+		}
+	}
+
+	// Row addition against the (possibly extended) column set.
+	nc = len(cols)
+	colMean2 := make([]float64, nc)
+	grand = 0.0
+	for tj, j := range cols {
+		for _, i := range rows {
+			colMean2[tj] += a[i][j]
+		}
+		grand += colMean2[tj]
+		colMean2[tj] /= float64(nr)
+	}
+	grand /= float64(nr * nc)
+	for i := 0; i < n; i++ {
+		if inRows[i] {
+			continue
+		}
+		rm := 0.0
+		for _, j := range cols {
+			rm += a[i][j]
+		}
+		rm /= float64(nc)
+		res := 0.0
+		for tj, j := range cols {
+			r := a[i][j] - rm - colMean2[tj] + grand
+			res += r * r
+		}
+		if res/float64(nc) <= h {
+			rows = append(rows, i)
+			inRows[i] = true
+		}
+	}
+	return rows, cols
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+// Package clarans implements CLARANS (Ng & Han — VLDB 1994), the
+// non-projected k-medoids algorithm the SSPC paper uses as the full-space
+// reference in its evaluation. CLARANS searches the graph of medoid sets by
+// repeatedly trying random single-medoid swaps, restarting from a fresh
+// random medoid set numlocal times.
+package clarans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Options configures a CLARANS run.
+type Options struct {
+	// K is the number of clusters.
+	K int
+	// NumLocal is the number of random restarts; MaxNeighbor the number of
+	// consecutive non-improving random swaps that declare a local optimum.
+	// Zero values take the paper's defaults (2 and max(250,
+	// 0.0125·K·(N−K))).
+	NumLocal    int
+	MaxNeighbor int
+	Seed        int64
+}
+
+// DefaultOptions returns the paper's recommended parameters.
+func DefaultOptions(k int) Options { return Options{K: k, NumLocal: 2} }
+
+// Run executes CLARANS with full-dimensional Euclidean distance.
+func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
+	if ds == nil {
+		return nil, errors.New("clarans: nil dataset")
+	}
+	n := ds.N()
+	if opts.K <= 0 || opts.K > n {
+		return nil, fmt.Errorf("clarans: K = %d out of range", opts.K)
+	}
+	if opts.NumLocal <= 0 {
+		opts.NumLocal = 2
+	}
+	if opts.MaxNeighbor <= 0 {
+		opts.MaxNeighbor = int(0.0125 * float64(opts.K) * float64(n-opts.K))
+		if opts.MaxNeighbor < 250 {
+			opts.MaxNeighbor = 250
+		}
+	}
+	rng := stats.NewRNG(opts.Seed)
+
+	bestCost := math.Inf(1)
+	var bestMedoids []int
+	iterations := 0
+
+	for local := 0; local < opts.NumLocal; local++ {
+		medoids := rng.Sample(n, opts.K)
+		cost := totalCost(ds, medoids)
+		tries := 0
+		for tries < opts.MaxNeighbor {
+			iterations++
+			// Random neighbor: replace one random medoid with one random
+			// non-medoid.
+			mi := rng.Intn(opts.K)
+			candidate := rng.Intn(n)
+			if containsInt(medoids, candidate) {
+				continue
+			}
+			old := medoids[mi]
+			medoids[mi] = candidate
+			newCost := totalCost(ds, medoids)
+			if newCost < cost {
+				cost = newCost
+				tries = 0
+			} else {
+				medoids[mi] = old
+				tries++
+			}
+		}
+		if cost < bestCost {
+			bestCost = cost
+			bestMedoids = append(bestMedoids[:0], medoids...)
+		}
+	}
+
+	assign := make([]int, n)
+	for p := 0; p < n; p++ {
+		best := math.Inf(1)
+		for i, m := range bestMedoids {
+			if d := ds.EuclideanSq(p, m, nil); d < best {
+				best = d
+				assign[p] = i
+			}
+		}
+	}
+	res := &cluster.Result{
+		K:                   opts.K,
+		Assignments:         assign,
+		Score:               bestCost,
+		ScoreHigherIsBetter: false,
+		Iterations:          iterations,
+	}
+	if err := res.Validate(n, ds.D()); err != nil {
+		return nil, fmt.Errorf("clarans: internal result invalid: %w", err)
+	}
+	return res, nil
+}
+
+// totalCost is the sum over objects of the distance to the nearest medoid.
+func totalCost(ds *dataset.Dataset, medoids []int) float64 {
+	total := 0.0
+	for p := 0; p < ds.N(); p++ {
+		best := math.Inf(1)
+		for _, m := range medoids {
+			if d := ds.EuclideanSq(p, m, nil); d < best {
+				best = d
+			}
+		}
+		total += math.Sqrt(best)
+	}
+	return total
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package clarans
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/synth"
+)
+
+func TestRunValidation(t *testing.T) {
+	ds, _ := dataset.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if _, err := Run(nil, DefaultOptions(2)); err == nil {
+		t.Error("nil dataset should error")
+	}
+	if _, err := Run(ds, DefaultOptions(0)); err == nil {
+		t.Error("K=0 should error")
+	}
+	if _, err := Run(ds, DefaultOptions(10)); err == nil {
+		t.Error("K>n should error")
+	}
+}
+
+func TestFullSpaceClusters(t *testing.T) {
+	// When every dimension is relevant, CLARANS should work well.
+	gt, err := synth.Generate(synth.Config{N: 300, D: 10, K: 3, AvgDims: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(3)
+	opts.Seed = 2
+	res, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(300, 10); err != nil {
+		t.Fatal(err)
+	}
+	a, err := eval.ARI(gt.Labels, res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < 0.8 {
+		t.Errorf("full-space ARI = %v, want >= 0.8", a)
+	}
+}
+
+func TestFailsOnProjectedClusters(t *testing.T) {
+	// The reference role in the paper: full-space distances cannot see 10%
+	// dimensional clusters, so CLARANS should do poorly — and certainly
+	// worse than on full-space data.
+	gt, err := synth.Generate(synth.Config{N: 400, D: 100, K: 4, AvgDims: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(4)
+	opts.Seed = 4
+	res, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eval.ARI(gt.Labels, res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a > 0.5 {
+		t.Errorf("CLARANS ARI = %v on 5%%-dim projected clusters; expected near-random", a)
+	}
+}
+
+func TestAllObjectsAssigned(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 100, D: 8, K: 3, AvgDims: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(gt.Data, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, outliers := res.Sizes()
+	if outliers != 0 {
+		t.Errorf("CLARANS has no outlier list but produced %d outliers", outliers)
+	}
+	if res.Dims != nil {
+		t.Error("CLARANS is non-projected; Dims should be nil")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 120, D: 6, K: 2, AvgDims: 6, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(2)
+	opts.Seed = 9
+	a, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != b.Score {
+		t.Error("same seed, different scores")
+	}
+}

@@ -1,0 +1,183 @@
+package clique
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/synth"
+)
+
+func TestRunValidation(t *testing.T) {
+	ds, _ := dataset.FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, _, err := Run(nil, DefaultOptions()); err == nil {
+		t.Error("nil dataset should error")
+	}
+	bad := DefaultOptions()
+	bad.Xi = 1
+	if _, _, err := Run(ds, bad); err == nil {
+		t.Error("Xi=1 should error")
+	}
+	bad = DefaultOptions()
+	bad.Tau = 0
+	if _, _, err := Run(ds, bad); err == nil {
+		t.Error("Tau=0 should error")
+	}
+}
+
+func TestFindsDense2DCluster(t *testing.T) {
+	// One tight 2-D cluster plus uniform background on both dims.
+	gt, err := synth.Generate(synth.Config{
+		N: 400, D: 4, K: 1, AvgDims: 2,
+		LocalSDMinFrac: 0.01, LocalSDMaxFrac: 0.03, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Tau = 0.10
+	subspaces, res, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subspaces) == 0 {
+		t.Fatal("no subspace clusters found")
+	}
+	// The best (first) subspace cluster should use the true relevant dims
+	// and capture mostly cluster members.
+	best := subspaces[0]
+	trueSet := map[int]bool{}
+	for _, j := range gt.Dims[0] {
+		trueSet[j] = true
+	}
+	for _, j := range best.Dims {
+		if !trueSet[j] {
+			t.Errorf("best subspace includes irrelevant dim %d (dims=%v true=%v)",
+				j, best.Dims, gt.Dims[0])
+		}
+	}
+	inClass := 0
+	for _, o := range best.Objects {
+		if gt.Labels[o] == 0 {
+			inClass++
+		}
+	}
+	if frac := float64(inClass) / float64(len(best.Objects)); frac < 0.8 {
+		t.Errorf("best subspace purity %v", frac)
+	}
+	if err := res.Validate(gt.Data.N(), gt.Data.D()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAprioriMonotonicity(t *testing.T) {
+	// Every dense 2-D unit's projections must be dense 1-D units; here we
+	// just check the search never reports a subspace whose 1-D margins
+	// would be sparse — indirectly, by confirming cluster sizes respect τ.
+	gt, err := synth.Generate(synth.Config{
+		N: 300, D: 6, K: 2, AvgDims: 3,
+		LocalSDMinFrac: 0.01, LocalSDMaxFrac: 0.04, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Tau = 0.08
+	subspaces, _, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minDense := int(opts.Tau * 300)
+	for _, s := range subspaces {
+		if len(s.Objects) < minDense {
+			t.Errorf("subspace %v holds %d objects, below τ·n = %d",
+				s.Dims, len(s.Objects), minDense)
+		}
+	}
+}
+
+func TestTwoClustersSeparated(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{
+		N: 400, D: 8, K: 2, AvgDims: 3,
+		LocalSDMinFrac: 0.01, LocalSDMaxFrac: 0.03, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Tau = 0.08
+	opts.MaxClusters = 2
+	_, res, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eval.ARI(gt.Labels, res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < 0.3 {
+		t.Errorf("CLIQUE flattened ARI = %v; expected some recovery", a)
+	}
+}
+
+func TestJoinRules(t *testing.T) {
+	a := unit{dims: []int{0, 2}, cells: []int{1, 3}}
+	b := unit{dims: []int{0, 4}, cells: []int{1, 5}}
+	j, ok := join(a, b)
+	if !ok {
+		t.Fatal("join should succeed")
+	}
+	if len(j.dims) != 3 || j.dims[2] != 4 || j.cells[2] != 5 {
+		t.Errorf("join = %+v", j)
+	}
+	// Shared prefix mismatch.
+	c := unit{dims: []int{1, 4}, cells: []int{1, 5}}
+	if _, ok := join(a, c); ok {
+		t.Error("join with different prefix should fail")
+	}
+	// Last dim not increasing.
+	if _, ok := join(b, a); ok {
+		t.Error("join must keep dims strictly increasing")
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	a := unit{dims: []int{0, 1}, cells: []int{2, 3}}
+	b := unit{dims: []int{0, 1}, cells: []int{2, 4}}
+	if !adjacent(a, b) {
+		t.Error("face-sharing units should be adjacent")
+	}
+	c := unit{dims: []int{0, 1}, cells: []int{3, 4}}
+	if adjacent(a, c) {
+		t.Error("diagonal units are not adjacent")
+	}
+	if adjacent(a, a) {
+		t.Error("a unit is not adjacent to itself")
+	}
+	far := unit{dims: []int{0, 1}, cells: []int{2, 5}}
+	if adjacent(a, far) {
+		t.Error("distance-2 units are not adjacent")
+	}
+}
+
+func TestMaxSubspaceDimCap(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{
+		N: 200, D: 10, K: 1, AvgDims: 5,
+		LocalSDMinFrac: 0.01, LocalSDMaxFrac: 0.02, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Tau = 0.1
+	opts.MaxSubspaceDim = 2
+	subspaces, _, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subspaces {
+		if len(s.Dims) > 2 {
+			t.Errorf("subspace %v exceeds the dimension cap", s.Dims)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package cluster defines the result types shared by every clustering
+// algorithm in this repository (SSPC and the PROCLUS / HARP / CLARANS / DOC
+// baselines): a partition of objects into k clusters plus an outlier list,
+// and — for projected algorithms — the selected dimensions of each cluster.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Outlier is the assignment value for objects placed on the outlier list.
+const Outlier = -1
+
+// Result is the output of a projected clustering run.
+type Result struct {
+	// K is the number of clusters requested.
+	K int
+	// Assignments has one entry per object: the cluster index in [0,K), or
+	// Outlier.
+	Assignments []int
+	// Dims[i] lists the selected (relevant) dimensions of cluster i in
+	// ascending order. Non-projected algorithms leave it nil.
+	Dims [][]int
+	// Score is the algorithm-specific objective value of this result.
+	// Higher-is-better or lower-is-better depends on the algorithm; it is
+	// only comparable across runs of the same algorithm, which is how the
+	// paper's best-of-10 protocol uses it.
+	Score float64
+	// ScoreHigherIsBetter tells the best-of-n harness which direction
+	// Score improves.
+	ScoreHigherIsBetter bool
+	// Iterations is the number of main-loop iterations the algorithm ran.
+	Iterations int
+}
+
+// Members returns the objects assigned to cluster c in ascending order.
+func (r *Result) Members(c int) []int {
+	var out []int
+	for i, a := range r.Assignments {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Outliers returns the objects on the outlier list in ascending order.
+func (r *Result) Outliers() []int { return r.Members(Outlier) }
+
+// Sizes returns the size of each cluster (index 0..K-1) and the outlier
+// count as the second return value.
+func (r *Result) Sizes() ([]int, int) {
+	sizes := make([]int, r.K)
+	outliers := 0
+	for _, a := range r.Assignments {
+		if a == Outlier {
+			outliers++
+			continue
+		}
+		if a >= 0 && a < r.K {
+			sizes[a]++
+		}
+	}
+	return sizes, outliers
+}
+
+// Better reports whether score a is better than score b under the result's
+// score direction.
+func (r *Result) Better(a, b float64) bool {
+	if r.ScoreHigherIsBetter {
+		return a > b
+	}
+	return a < b
+}
+
+// Validate checks structural invariants: assignment bounds, dims bounds and
+// sortedness. n and d give the dataset shape.
+func (r *Result) Validate(n, d int) error {
+	if r.K <= 0 {
+		return fmt.Errorf("cluster: K = %d", r.K)
+	}
+	if len(r.Assignments) != n {
+		return fmt.Errorf("cluster: %d assignments for %d objects", len(r.Assignments), n)
+	}
+	for i, a := range r.Assignments {
+		if a != Outlier && (a < 0 || a >= r.K) {
+			return fmt.Errorf("cluster: object %d assigned to %d (K=%d)", i, a, r.K)
+		}
+	}
+	if r.Dims != nil {
+		if len(r.Dims) != r.K {
+			return fmt.Errorf("cluster: %d dim sets for K=%d", len(r.Dims), r.K)
+		}
+		for c, dims := range r.Dims {
+			if !sort.IntsAreSorted(dims) {
+				return fmt.Errorf("cluster: dims of cluster %d not sorted", c)
+			}
+			for _, j := range dims {
+				if j < 0 || j >= d {
+					return fmt.Errorf("cluster: cluster %d selects dim %d (d=%d)", c, j, d)
+				}
+			}
+			for t := 1; t < len(dims); t++ {
+				if dims[t] == dims[t-1] {
+					return fmt.Errorf("cluster: cluster %d selects dim %d twice", c, dims[t])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AvgDimensionality returns the mean number of selected dimensions per
+// cluster, or 0 when no dims were recorded.
+func (r *Result) AvgDimensionality() float64 {
+	if len(r.Dims) == 0 {
+		return 0
+	}
+	total := 0
+	for _, dims := range r.Dims {
+		total += len(dims)
+	}
+	return float64(total) / float64(len(r.Dims))
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import "testing"
+
+func TestMembersAndOutliers(t *testing.T) {
+	r := &Result{K: 2, Assignments: []int{0, 1, 0, Outlier, 1}}
+	m0 := r.Members(0)
+	if len(m0) != 2 || m0[0] != 0 || m0[1] != 2 {
+		t.Errorf("Members(0) = %v", m0)
+	}
+	out := r.Outliers()
+	if len(out) != 1 || out[0] != 3 {
+		t.Errorf("Outliers = %v", out)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	r := &Result{K: 3, Assignments: []int{0, 0, 1, Outlier, Outlier}}
+	sizes, outliers := r.Sizes()
+	if sizes[0] != 2 || sizes[1] != 1 || sizes[2] != 0 || outliers != 2 {
+		t.Errorf("Sizes = %v, %d", sizes, outliers)
+	}
+}
+
+func TestBetterDirection(t *testing.T) {
+	hi := &Result{ScoreHigherIsBetter: true}
+	lo := &Result{ScoreHigherIsBetter: false}
+	if !hi.Better(2, 1) || hi.Better(1, 2) {
+		t.Error("higher-is-better broken")
+	}
+	if !lo.Better(1, 2) || lo.Better(2, 1) {
+		t.Error("lower-is-better broken")
+	}
+}
+
+func TestValidateCatchesBadStructures(t *testing.T) {
+	good := &Result{K: 2, Assignments: []int{0, 1, Outlier}, Dims: [][]int{{0, 2}, {1}}}
+	if err := good.Validate(3, 3); err != nil {
+		t.Errorf("valid result rejected: %v", err)
+	}
+	bad := []*Result{
+		{K: 0, Assignments: []int{}},
+		{K: 2, Assignments: []int{0}},                                  // wrong length
+		{K: 2, Assignments: []int{0, 5, 0}},                            // assignment out of range
+		{K: 2, Assignments: []int{0, 1, 0}, Dims: [][]int{{0}}},        // wrong dim set count
+		{K: 2, Assignments: []int{0, 1, 0}, Dims: [][]int{{2, 0}, {}}}, // unsorted
+		{K: 2, Assignments: []int{0, 1, 0}, Dims: [][]int{{0, 9}, {}}}, // dim out of range
+		{K: 2, Assignments: []int{0, 1, 0}, Dims: [][]int{{0, 0}, {}}}, // duplicate dim
+	}
+	for i, r := range bad {
+		if err := r.Validate(3, 3); err == nil {
+			t.Errorf("bad result %d accepted", i)
+		}
+	}
+}
+
+func TestAvgDimensionality(t *testing.T) {
+	r := &Result{K: 2, Dims: [][]int{{0, 1, 2}, {3}}}
+	if got := r.AvgDimensionality(); got != 2 {
+		t.Errorf("AvgDimensionality = %v", got)
+	}
+	empty := &Result{K: 2}
+	if got := empty.AvgDimensionality(); got != 0 {
+		t.Errorf("empty AvgDimensionality = %v", got)
+	}
+}

@@ -1,0 +1,263 @@
+// Package copkmeans implements COP-KMeans (Wagstaff, Cardie, Rogers,
+// Schroedl — ICML 2001), the constrained k-means algorithm the SSPC paper
+// reviews as the archetypal semi-supervised clustering method ([18] in
+// §2.2). Domain knowledge enters as instance-level constraints: must-links
+// (two objects belong together) and cannot-links (they do not), enforced
+// hard during every assignment step.
+//
+// It serves as the non-projected semi-supervised reference: constraints
+// alone cannot fix full-space distances on extremely low-dimensional
+// projected clusters, which is the gap SSPC fills.
+package copkmeans
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Constraints holds instance-level must-link / cannot-link pairs.
+type Constraints struct {
+	MustLink   [][2]int
+	CannotLink [][2]int
+}
+
+// FromKnowledge derives constraints from labeled objects: same class →
+// must-link, different classes → cannot-link.
+func FromKnowledge(kn *dataset.Knowledge) *Constraints {
+	c := &Constraints{}
+	if kn == nil {
+		return c
+	}
+	var objs []int
+	for obj := range kn.ObjectLabels {
+		objs = append(objs, obj)
+	}
+	// Sort for determinism.
+	for i := 1; i < len(objs); i++ {
+		for j := i; j > 0 && objs[j] < objs[j-1]; j-- {
+			objs[j], objs[j-1] = objs[j-1], objs[j]
+		}
+	}
+	for i := 0; i < len(objs); i++ {
+		for j := i + 1; j < len(objs); j++ {
+			if kn.ObjectLabels[objs[i]] == kn.ObjectLabels[objs[j]] {
+				c.MustLink = append(c.MustLink, [2]int{objs[i], objs[j]})
+			} else {
+				c.CannotLink = append(c.CannotLink, [2]int{objs[i], objs[j]})
+			}
+		}
+	}
+	return c
+}
+
+// Options configures COP-KMeans.
+type Options struct {
+	K             int
+	MaxIterations int
+	Seed          int64
+}
+
+// DefaultOptions returns a standard configuration.
+func DefaultOptions(k int) Options { return Options{K: k, MaxIterations: 100} }
+
+// ErrInfeasible is returned when no constraint-respecting assignment
+// exists for some object.
+var ErrInfeasible = errors.New("copkmeans: constraints infeasible")
+
+// Run executes COP-KMeans with full-space Euclidean distance.
+func Run(ds *dataset.Dataset, cons *Constraints, opts Options) (*cluster.Result, error) {
+	if ds == nil {
+		return nil, errors.New("copkmeans: nil dataset")
+	}
+	n, d := ds.N(), ds.D()
+	if opts.K <= 0 || opts.K > n {
+		return nil, fmt.Errorf("copkmeans: K = %d out of range", opts.K)
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 100
+	}
+	if cons == nil {
+		cons = &Constraints{}
+	}
+	for _, p := range append(append([][2]int{}, cons.MustLink...), cons.CannotLink...) {
+		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+			return nil, fmt.Errorf("copkmeans: constraint pair %v out of range", p)
+		}
+	}
+
+	// Transitive closure of must-links via union-find; objects in one
+	// component always move together (assign by component).
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, p := range cons.MustLink {
+		parent[find(p[0])] = find(p[1])
+	}
+	// Cannot-link between two objects of the same must-component is
+	// immediately infeasible.
+	cannot := make(map[[2]int]bool, len(cons.CannotLink))
+	for _, p := range cons.CannotLink {
+		a, b := find(p[0]), find(p[1])
+		if a == b {
+			return nil, fmt.Errorf("%w: cannot-link %v within a must-link component", ErrInfeasible, p)
+		}
+		if a > b {
+			a, b = b, a
+		}
+		cannot[[2]int{a, b}] = true
+	}
+
+	components := map[int][]int{}
+	for i := 0; i < n; i++ {
+		components[find(i)] = append(components[find(i)], i)
+	}
+	roots := make([]int, 0, len(components))
+	for r := range components {
+		roots = append(roots, r)
+	}
+	for i := 1; i < len(roots); i++ {
+		for j := i; j > 0 && roots[j] < roots[j-1]; j-- {
+			roots[j], roots[j-1] = roots[j-1], roots[j]
+		}
+	}
+
+	rng := stats.NewRNG(opts.Seed)
+	centers := make([][]float64, opts.K)
+	for c, idx := range rng.Sample(n, opts.K) {
+		centers[c] = append([]float64(nil), ds.Row(idx)...)
+	}
+
+	assign := make([]int, n)
+	compAssign := make(map[int]int, len(components))
+	var cost float64
+	iterations := 0
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		iterations++
+		for r := range compAssign {
+			delete(compAssign, r)
+		}
+		cost = 0
+		// Assign components in order, nearest feasible center first.
+		for _, r := range roots {
+			members := components[r]
+			type cand struct {
+				c    int
+				dist float64
+			}
+			cands := make([]cand, opts.K)
+			for c := 0; c < opts.K; c++ {
+				total := 0.0
+				for _, i := range members {
+					total += distSq(ds.Row(i), centers[c])
+				}
+				cands[c] = cand{c, total}
+			}
+			// Sort candidates by distance.
+			for i := 1; i < len(cands); i++ {
+				for j := i; j > 0 && cands[j].dist < cands[j-1].dist; j-- {
+					cands[j], cands[j-1] = cands[j-1], cands[j]
+				}
+			}
+			placed := false
+			for _, cd := range cands {
+				if feasible(r, cd.c, roots, compAssign, cannot) {
+					compAssign[r] = cd.c
+					cost += cd.dist
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("%w: component %d has no feasible cluster", ErrInfeasible, r)
+			}
+		}
+		for i := 0; i < n; i++ {
+			assign[i] = compAssign[find(i)]
+		}
+
+		// Recompute centers; empty clusters keep their previous center.
+		counts := make([]int, opts.K)
+		sums := make([][]float64, opts.K)
+		for c := range sums {
+			sums[c] = make([]float64, d)
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			row := ds.Row(i)
+			for j := 0; j < d; j++ {
+				sums[c][j] += row[j]
+			}
+		}
+		moved := false
+		for c := 0; c < opts.K; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := 0; j < d; j++ {
+				v := sums[c][j] / float64(counts[c])
+				if v != centers[c][j] {
+					moved = true
+				}
+				centers[c][j] = v
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+
+	res := &cluster.Result{
+		K:                   opts.K,
+		Assignments:         assign,
+		Score:               cost,
+		ScoreHigherIsBetter: false,
+		Iterations:          iterations,
+	}
+	if err := res.Validate(n, d); err != nil {
+		return nil, fmt.Errorf("copkmeans: internal result invalid: %w", err)
+	}
+	return res, nil
+}
+
+// feasible checks whether placing component r in cluster c violates any
+// cannot-link against already-placed components.
+func feasible(r, c int, roots []int, compAssign map[int]int, cannot map[[2]int]bool) bool {
+	for _, other := range roots {
+		oc, ok := compAssign[other]
+		if !ok || oc != c || other == r {
+			continue
+		}
+		a, b := r, other
+		if a > b {
+			a, b = b, a
+		}
+		if cannot[[2]int{a, b}] {
+			return false
+		}
+	}
+	return true
+}
+
+func distSq(a, b []float64) float64 {
+	s := 0.0
+	for j := range a {
+		diff := a[j] - b[j]
+		s += diff * diff
+	}
+	return s
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// The objective function of the paper (Equations 1–4):
+//
+//	φ    = (1/nd) Σ_i φ_i
+//	φ_i  = Σ_{vj ∈ V_i} φ_ij
+//	φ_ij = (n_i − 1)(1 − (s²_ij + (µ_ij − µ̃_ij)²)/ŝ²_ij)
+//
+// By Lemma 1, φ is maximized for a fixed partition by selecting exactly the
+// dimensions with s²_ij + (µ_ij − µ̃_ij)² < ŝ²_ij, which is what SelectDim
+// does. φ_ij is positive for every selected dimension and larger for tighter
+// dimensions, so relevant dimensions dominate the score (design goal #2).
+
+// dimEval carries the per-dimension quantities of one cluster.
+type dimEval struct {
+	phi      float64 // φ_ij (may be negative for unselected dims)
+	selected bool
+}
+
+// evaluateDims computes φ_ij and the selection decision for every dimension
+// of the cluster `members`, reusing buf (len >= len(members)).
+func evaluateDims(ds *dataset.Dataset, members []int, thr *thresholds, buf []float64, out []dimEval) []dimEval {
+	d := ds.D()
+	out = out[:0]
+	ni := len(members)
+	if ni == 0 {
+		for j := 0; j < d; j++ {
+			out = append(out, dimEval{phi: math.Inf(-1)})
+		}
+		return out
+	}
+	for j := 0; j < d; j++ {
+		var r stats.Running
+		for t, i := range members {
+			v := ds.At(i, j)
+			buf[t] = v
+			r.Add(v)
+		}
+		med := stats.MedianInPlace(buf[:ni])
+		diff := r.Mean() - med
+		disp := r.Variance() + diff*diff
+		sHat := thr.value(j, ni)
+		phi := float64(ni-1) * (1 - disp/sHat)
+		out = append(out, dimEval{phi: phi, selected: disp < sHat})
+	}
+	return out
+}
+
+// selectDims runs Procedure SelectDim (Listing 1 of the paper): it returns
+// the dimensions with s²_ij + (µ_ij − µ̃_ij)² < ŝ²_ij, ascending.
+func selectDims(ds *dataset.Dataset, members []int, thr *thresholds) []int {
+	buf := make([]float64, len(members))
+	evals := evaluateDims(ds, members, thr, buf, make([]dimEval, 0, ds.D()))
+	var dims []int
+	for j, e := range evals {
+		if e.selected {
+			dims = append(dims, j)
+		}
+	}
+	return dims
+}
+
+// phiIJ returns φ_ij for one dimension (used to weight candidate
+// grid-building dimensions by φ_{i'j} during initialization, §4.2.1).
+func phiIJ(ds *dataset.Dataset, members []int, j int, thr *thresholds) float64 {
+	ni := len(members)
+	if ni == 0 {
+		return math.Inf(-1)
+	}
+	disp := dispersion(ds, members, j)
+	sHat := thr.value(j, ni)
+	return float64(ni-1) * (1 - disp/sHat)
+}
+
+// phiCluster returns φ_i = Σ_{vj∈dims} φ_ij for a fixed dimension set.
+func phiCluster(ds *dataset.Dataset, members []int, dims []int, thr *thresholds) float64 {
+	ni := len(members)
+	if ni == 0 || len(dims) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, j := range dims {
+		disp := dispersion(ds, members, j)
+		sHat := thr.value(j, ni)
+		total += float64(ni-1) * (1 - disp/sHat)
+	}
+	return total
+}
+
+// clusterEval is the outcome of SelectDim + φ_i for one cluster.
+type clusterEval struct {
+	dims []int
+	phi  float64
+}
+
+// evaluateCluster runs SelectDim on the members and returns the selected
+// dimensions with the resulting φ_i.
+func evaluateCluster(ds *dataset.Dataset, members []int, thr *thresholds, buf []float64, scratch []dimEval) clusterEval {
+	evals := evaluateDims(ds, members, thr, buf, scratch)
+	var dims []int
+	phi := 0.0
+	for j, e := range evals {
+		if e.selected {
+			dims = append(dims, j)
+			phi += e.phi
+		}
+	}
+	return clusterEval{dims: dims, phi: phi}
+}
+
+// overallPhi normalizes the summed cluster scores by n·d (Equation 1).
+func overallPhi(sum float64, n, d int) float64 {
+	return sum / (float64(n) * float64(d))
+}

@@ -1,0 +1,6 @@
+package core
+
+import "repro/internal/stats"
+
+// newTestRNGCore is a test hook for constructing the package's RNG.
+func newTestRNGCore(seed int64) *stats.RNG { return stats.NewRNG(seed) }

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// state is the mutable per-cluster state of the main loop.
+type state struct {
+	rep      []float64 // representative's projection on every dimension
+	dims     []int     // selected dimensions V_i
+	members  []int
+	phi      float64
+	prevSize int        // n_i of the previous iteration (for scheme p)
+	group    *seedGroup // the seed group currently backing this cluster
+}
+
+// Run executes SSPC (Listing 2 of the paper) on the dataset and returns the
+// best clustering found.
+func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
+	opts, err := opts.normalized(ds)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(opts.Seed)
+	thr := newThresholds(ds, opts)
+
+	private, public, err := initialize(ds, opts, thr, rng)
+	if err != nil {
+		return nil, err
+	}
+	opts.Trace.emitInit(private, public)
+
+	n, d := ds.N(), ds.D()
+	clusters := make([]*state, opts.K)
+	for i := range clusters {
+		st := &state{prevSize: maxInt(2, n/opts.K)}
+		if g, ok := private[i]; ok {
+			st.group = g
+		} else {
+			st.group = drawPublicGroup(public, rng)
+			if st.group == nil {
+				// Not enough public groups; reuse a random private one or
+				// fall back to a random object as a degenerate group.
+				st.group = fallbackGroup(ds, private, thr, rng)
+			}
+		}
+		st.group.inUse = true
+		medoid := st.group.drawMedoid(rng)
+		st.rep = append([]float64(nil), ds.Row(medoid)...)
+		st.dims = append([]int(nil), st.group.dims...)
+		clusters[i] = st
+	}
+
+	assign := make([]int, n)
+	bestAssign := make([]int, n)
+	bestDims := make([][]int, opts.K)
+	bestPhi := make([]float64, opts.K)
+	bestScore := math.Inf(-1)
+
+	buf := make([]float64, n)
+	scratch := make([]dimEval, 0, d)
+	sHat := make([][]float64, opts.K) // per-cluster per-dim thresholds
+	for i := range sHat {
+		sHat[i] = make([]float64, d)
+	}
+
+	iterations := 0
+	stall := 0
+	for iterations < opts.MaxIterations && stall < opts.MaxStall {
+		iterations++
+
+		// Step 3: assign every object to the cluster whose φ_i it improves
+		// most, with the representative's projection standing in for the
+		// median. Objects improving no cluster go to the outlier list.
+		for i, st := range clusters {
+			thr.values(st.prevSize, sHat[i])
+		}
+		for x := 0; x < n; x++ {
+			row := ds.Row(x)
+			bestDelta := 0.0
+			bestC := cluster.Outlier
+			for i, st := range clusters {
+				delta := 0.0
+				for _, j := range st.dims {
+					diff := row[j] - st.rep[j]
+					delta += 1 - diff*diff/sHat[i][j]
+				}
+				if delta > bestDelta {
+					bestDelta = delta
+					bestC = i
+				}
+			}
+			assign[x] = bestC
+		}
+		for _, st := range clusters {
+			st.members = st.members[:0]
+		}
+		for x, c := range assign {
+			if c != cluster.Outlier {
+				clusters[c].members = append(clusters[c].members, x)
+			}
+		}
+
+		// Step 4: redetermine the selected dimensions with the actual
+		// medians and compute the overall objective score.
+		total := 0.0
+		for _, st := range clusters {
+			ev := evaluateCluster(ds, st.members, thr, buf, scratch)
+			st.dims = ev.dims
+			st.phi = ev.phi
+			total += ev.phi
+		}
+		score := overallPhi(total, n, d)
+
+		// Step 5: record or restore the best clusters.
+		improved := score > bestScore
+		if improved {
+			bestScore = score
+			copy(bestAssign, assign)
+			for i, st := range clusters {
+				bestDims[i] = append(bestDims[i][:0], st.dims...)
+				bestPhi[i] = st.phi
+			}
+			stall = 0
+		} else {
+			stall++
+			for i, st := range clusters {
+				st.dims = append(st.dims[:0], bestDims[i]...)
+				st.phi = bestPhi[i]
+				st.members = st.members[:0]
+			}
+			for x, c := range bestAssign {
+				if c != cluster.Outlier {
+					clusters[c].members = append(clusters[c].members, x)
+				}
+			}
+		}
+
+		// Step 6: replace the representative of the bad cluster with a new
+		// medoid; every other cluster's representative becomes its median
+		// (or mean, under the ablation).
+		bad := detectBadCluster(ds, clusters)
+		opts.Trace.emitIteration(iterations, score, bestScore, improved, clusters, bestAssign, bad)
+		for i, st := range clusters {
+			st.prevSize = maxInt(2, len(st.members))
+			if i == bad {
+				replaceWithNewMedoid(ds, st, private, public, i, rng)
+				continue
+			}
+			if len(st.members) > 0 {
+				if opts.Representative == MeanRepresentative {
+					st.rep = ds.MeanVector(st.members)
+				} else {
+					st.rep = ds.MedianVector(st.members)
+				}
+			}
+		}
+		for _, st := range clusters {
+			st.members = st.members[:0]
+		}
+	}
+
+	res := &cluster.Result{
+		K:                   opts.K,
+		Assignments:         append([]int(nil), bestAssign...),
+		Dims:                make([][]int, opts.K),
+		Score:               bestScore,
+		ScoreHigherIsBetter: true,
+		Iterations:          iterations,
+	}
+	for i := range bestDims {
+		res.Dims[i] = append([]int(nil), bestDims[i]...)
+	}
+	if err := res.Validate(n, d); err != nil {
+		return nil, fmt.Errorf("sspc: internal result invalid: %w", err)
+	}
+	return res, nil
+}
+
+// detectBadCluster implements §4.3: the primary signal is a very low φ_i
+// (losers of two clusters competing for one real cluster, or empty
+// clusters); a pair of near-duplicate clusters marks its lower-φ member bad.
+func detectBadCluster(ds *dataset.Dataset, clusters []*state) int {
+	// Near-duplicate check: large dimension overlap and close
+	// representatives in the shared subspace.
+	for i := 0; i < len(clusters); i++ {
+		for j := i + 1; j < len(clusters); j++ {
+			a, b := clusters[i], clusters[j]
+			if len(a.dims) == 0 || len(b.dims) == 0 {
+				continue
+			}
+			shared := intersectSorted(a.dims, b.dims)
+			if len(shared)*2 < len(a.dims)+len(b.dims) {
+				continue
+			}
+			// Representatives within one global stddev per shared dim.
+			close := true
+			for _, dim := range shared {
+				diff := a.rep[dim] - b.rep[dim]
+				if diff*diff > ds.ColVariance(dim) {
+					close = false
+					break
+				}
+			}
+			if close {
+				if a.phi < b.phi {
+					return i
+				}
+				return j
+			}
+		}
+	}
+	worst, arg := math.Inf(1), 0
+	for i, st := range clusters {
+		phi := st.phi
+		if len(st.members) == 0 {
+			phi = math.Inf(-1)
+		}
+		if phi < worst {
+			worst = phi
+			arg = i
+		}
+	}
+	return arg
+}
+
+// replaceWithNewMedoid redraws the bad cluster's representative from its
+// private seed group, or from an unused public group (resetting usage when
+// exhausted).
+func replaceWithNewMedoid(ds *dataset.Dataset, st *state, private map[int]*seedGroup, public []*seedGroup, idx int, rng *stats.RNG) {
+	if g, ok := private[idx]; ok {
+		medoid := g.drawMedoid(rng)
+		st.rep = append(st.rep[:0], ds.Row(medoid)...)
+		st.dims = append(st.dims[:0], g.dims...)
+		return
+	}
+	g := drawPublicGroup(public, rng)
+	if g == nil {
+		// All public groups in use: release the ones not currently backing
+		// a cluster is not tracked here, so reset and redraw.
+		for _, pg := range public {
+			pg.inUse = false
+		}
+		if st.group != nil {
+			st.group.inUse = true
+		}
+		g = drawPublicGroup(public, rng)
+	}
+	if g == nil {
+		g = st.group // nothing else available: redraw within the group
+	}
+	if st.group != nil && st.group != g {
+		st.group.inUse = false
+	}
+	g.inUse = true
+	st.group = g
+	medoid := g.drawMedoid(rng)
+	st.rep = append(st.rep[:0], ds.Row(medoid)...)
+	st.dims = append(st.dims[:0], g.dims...)
+}
+
+// drawPublicGroup picks a random unused public group, or nil.
+func drawPublicGroup(public []*seedGroup, rng *stats.RNG) *seedGroup {
+	var free []*seedGroup
+	for _, g := range public {
+		if !g.inUse {
+			free = append(free, g)
+		}
+	}
+	if len(free) == 0 {
+		return nil
+	}
+	return free[rng.Intn(len(free))]
+}
+
+// fallbackGroup covers the corner where a cluster cannot get a public group
+// (tiny datasets): a singleton group around a random object with the
+// dimensions of a random private group, or the object's densest dimensions.
+func fallbackGroup(ds *dataset.Dataset, private map[int]*seedGroup, thr *thresholds, rng *stats.RNG) *seedGroup {
+	obj := rng.Intn(ds.N())
+	var dims []int
+	for _, g := range private {
+		dims = g.dims
+		break
+	}
+	if len(dims) == 0 {
+		dims = []int{rng.Intn(ds.D())}
+	}
+	return &seedGroup{seeds: []int{obj}, dims: append([]int(nil), dims...), class: -1}
+}
+
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

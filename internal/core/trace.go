@@ -1,0 +1,103 @@
+package core
+
+// Trace lets callers observe the main loop: one IterationStats per
+// iteration, plus the seed-group summary from initialization. It exists for
+// debugging, teaching, and the convergence tests — production runs leave
+// Options.Trace nil and pay nothing.
+
+// IterationStats summarizes one iteration of the SSPC main loop.
+type IterationStats struct {
+	// Iteration is 1-based.
+	Iteration int
+	// Score is the overall φ of this iteration's clustering.
+	Score float64
+	// BestScore is the best φ seen so far (after this iteration).
+	BestScore float64
+	// Improved reports whether this iteration set a new best.
+	Improved bool
+	// ClusterSizes has one entry per cluster; Outliers is the outlier-list
+	// length.
+	ClusterSizes []int
+	Outliers     int
+	// SelectedDims has the per-cluster selected-dimension counts.
+	SelectedDims []int
+	// BadCluster is the cluster whose representative was replaced at the
+	// end of the iteration.
+	BadCluster int
+}
+
+// SeedGroupInfo summarizes one seed group after initialization.
+type SeedGroupInfo struct {
+	// Class is the private group's class, or −1 for a public group.
+	Class int
+	Seeds int
+	Dims  int
+}
+
+// Trace receives observer callbacks from Run. Either hook may be nil.
+type Trace struct {
+	// OnInit is called once after initialization.
+	OnInit func(groups []SeedGroupInfo)
+	// OnIteration is called after every iteration. The stats value is
+	// owned by the callback (slices are fresh copies).
+	OnIteration func(IterationStats)
+}
+
+// emitInit reports the created seed groups.
+func (t *Trace) emitInit(private map[int]*seedGroup, public []*seedGroup) {
+	if t == nil || t.OnInit == nil {
+		return
+	}
+	var infos []SeedGroupInfo
+	for class, g := range private {
+		infos = append(infos, SeedGroupInfo{Class: class, Seeds: len(g.seeds), Dims: len(g.dims)})
+	}
+	for _, g := range public {
+		infos = append(infos, SeedGroupInfo{Class: -1, Seeds: len(g.seeds), Dims: len(g.dims)})
+	}
+	// Sort: private groups by class, then public.
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && less(infos[j], infos[j-1]); j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+	t.OnInit(infos)
+}
+
+func less(a, b SeedGroupInfo) bool {
+	ac, bc := a.Class, b.Class
+	if ac == -1 {
+		ac = int(^uint(0) >> 1) // public groups last
+	}
+	if bc == -1 {
+		bc = int(^uint(0) >> 1)
+	}
+	return ac < bc
+}
+
+// emitIteration reports one iteration.
+func (t *Trace) emitIteration(iter int, score, best float64, improved bool,
+	clusters []*state, assign []int, bad int) {
+	if t == nil || t.OnIteration == nil {
+		return
+	}
+	stats := IterationStats{
+		Iteration:    iter,
+		Score:        score,
+		BestScore:    best,
+		Improved:     improved,
+		ClusterSizes: make([]int, len(clusters)),
+		SelectedDims: make([]int, len(clusters)),
+		BadCluster:   bad,
+	}
+	for i, st := range clusters {
+		stats.ClusterSizes[i] = len(st.members)
+		stats.SelectedDims[i] = len(st.dims)
+	}
+	for _, a := range assign {
+		if a < 0 {
+			stats.Outliers++
+		}
+	}
+	t.OnIteration(stats)
+}

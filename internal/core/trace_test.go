@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestTraceObservesIterations(t *testing.T) {
+	gt := generate(t, synth.Config{N: 200, D: 40, K: 3, AvgDims: 8, Seed: 40})
+	var initGroups []SeedGroupInfo
+	var iters []IterationStats
+	opts := DefaultOptions(3)
+	opts.Seed = 1
+	opts.Trace = &Trace{
+		OnInit:      func(g []SeedGroupInfo) { initGroups = g },
+		OnIteration: func(s IterationStats) { iters = append(iters, s) },
+	}
+	res := runSSPC(t, gt, opts)
+
+	if len(initGroups) == 0 {
+		t.Fatal("OnInit not called")
+	}
+	for _, g := range initGroups {
+		if g.Seeds <= 0 {
+			t.Errorf("seed group with %d seeds", g.Seeds)
+		}
+	}
+	if len(iters) != res.Iterations {
+		t.Fatalf("observed %d iterations, result says %d", len(iters), res.Iterations)
+	}
+	// Best score must be non-decreasing and end at the result's score.
+	prev := iters[0].BestScore
+	for _, s := range iters[1:] {
+		if s.BestScore < prev {
+			t.Fatalf("best score decreased: %v -> %v", prev, s.BestScore)
+		}
+		prev = s.BestScore
+	}
+	if last := iters[len(iters)-1]; last.BestScore != res.Score {
+		t.Errorf("final best %v != result score %v", last.BestScore, res.Score)
+	}
+	// Improved flags must be consistent with score/best relation.
+	for _, s := range iters {
+		if s.Improved && s.Score != s.BestScore {
+			t.Errorf("iteration %d improved but score %v != best %v",
+				s.Iteration, s.Score, s.BestScore)
+		}
+		if s.BadCluster < 0 || s.BadCluster >= 3 {
+			t.Errorf("bad cluster index %d out of range", s.BadCluster)
+		}
+		if len(s.ClusterSizes) != 3 || len(s.SelectedDims) != 3 {
+			t.Errorf("stats slices sized wrong: %+v", s)
+		}
+	}
+}
+
+func TestTracePrivateGroupsSortedFirst(t *testing.T) {
+	gt := generate(t, synth.Config{N: 150, D: 200, K: 3, AvgDims: 8, Seed: 41})
+	kn, err := synth.SampleKnowledge(gt, synth.KnowledgeConfig{
+		Kind: synth.ObjectsAndDims, Coverage: 1, Size: 4, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var initGroups []SeedGroupInfo
+	opts := DefaultOptions(3)
+	opts.Knowledge = kn
+	opts.Trace = &Trace{OnInit: func(g []SeedGroupInfo) { initGroups = g }}
+	runSSPC(t, gt, opts)
+	if len(initGroups) < 3 {
+		t.Fatalf("expected >= 3 groups, got %d", len(initGroups))
+	}
+	for c := 0; c < 3; c++ {
+		if initGroups[c].Class != c {
+			t.Errorf("group %d class = %d, want %d (private first, sorted)",
+				c, initGroups[c].Class, c)
+		}
+	}
+	for _, g := range initGroups[3:] {
+		if g.Class != -1 {
+			t.Errorf("trailing group should be public, got class %d", g.Class)
+		}
+	}
+}
+
+func TestNilTraceIsFree(t *testing.T) {
+	// A nil Trace (and nil hooks) must not panic anywhere.
+	gt := generate(t, synth.Config{N: 80, D: 20, K: 2, AvgDims: 5, Seed: 43})
+	opts := DefaultOptions(2)
+	opts.Trace = &Trace{} // hooks nil
+	runSSPC(t, gt, opts)
+	opts.Trace = nil
+	runSSPC(t, gt, opts)
+}

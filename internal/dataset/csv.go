@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV parses numeric CSV data into a Dataset. When header is true the
+// first record is skipped. Every field must parse as a finite float64.
+func ReadCSV(r io.Reader, header bool) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: csv parse: %w", err)
+	}
+	if header && len(records) > 0 {
+		records = records[1:]
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv has no data rows")
+	}
+	rows := make([][]float64, len(records))
+	for i, rec := range records {
+		rows[i] = make([]float64, len(rec))
+		for j, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d col %d: %w", i, j, err)
+			}
+			rows[i][j] = v
+		}
+	}
+	return FromRows(rows)
+}
+
+// ReadLabeledCSV parses CSV data whose last column is an integer class label
+// (−1 for outliers). It returns the feature dataset and the label column.
+func ReadLabeledCSV(r io.Reader, header bool) (*Dataset, []int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: csv parse: %w", err)
+	}
+	if header && len(records) > 0 {
+		records = records[1:]
+	}
+	if len(records) == 0 {
+		return nil, nil, fmt.Errorf("dataset: csv has no data rows")
+	}
+	rows := make([][]float64, len(records))
+	labels := make([]int, len(records))
+	for i, rec := range records {
+		if len(rec) < 2 {
+			return nil, nil, fmt.Errorf("dataset: row %d too short for label column", i)
+		}
+		rows[i] = make([]float64, len(rec)-1)
+		for j := 0; j < len(rec)-1; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dataset: row %d col %d: %w", i, j, err)
+			}
+			rows[i][j] = v
+		}
+		lbl, err := strconv.Atoi(rec[len(rec)-1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: row %d label: %w", i, err)
+		}
+		labels[i] = lbl
+	}
+	ds, err := FromRows(rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, labels, nil
+}
+
+// WriteCSV writes the dataset as CSV. If labels is non-nil it must have one
+// entry per row and is appended as a final integer column.
+func WriteCSV(w io.Writer, ds *Dataset, labels []int) error {
+	if labels != nil && len(labels) != ds.N() {
+		return fmt.Errorf("dataset: %d labels for %d rows", len(labels), ds.N())
+	}
+	cw := csv.NewWriter(w)
+	width := ds.D()
+	if labels != nil {
+		width++
+	}
+	rec := make([]string, width)
+	for i := 0; i < ds.N(); i++ {
+		row := ds.Row(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if labels != nil {
+			rec[ds.D()] = strconv.Itoa(labels[i])
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,277 @@
+// Package dataset provides the dense numeric matrix every algorithm in this
+// repository clusters, together with cached per-dimension statistics, CSV
+// I/O, and the semi-supervision inputs (labeled objects and labeled
+// dimensions) defined in Section 3 of the SSPC paper.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Dataset is an n×d matrix of float64 values stored row-major. Objects are
+// rows; dimensions are columns. The zero value is unusable: construct with
+// New or FromRows.
+type Dataset struct {
+	n, d int
+	data []float64 // row-major, len n*d
+
+	// Lazily computed per-dimension statistics over all n objects. These
+	// approximate the paper's global populations: colVar[j] is s²_j, the
+	// baseline for the selection thresholds ŝ²_ij.
+	statsReady bool
+	colMean    []float64
+	colVar     []float64
+	colMin     []float64
+	colMax     []float64
+}
+
+// New returns an n×d dataset of zeros.
+func New(n, d int) (*Dataset, error) {
+	if n <= 0 || d <= 0 {
+		return nil, fmt.Errorf("dataset: invalid shape %dx%d", n, d)
+	}
+	return &Dataset{n: n, d: d, data: make([]float64, n*d)}, nil
+}
+
+// FromRows builds a dataset from a slice of equal-length rows, copying the
+// data. It rejects ragged input, empty input, and non-finite values.
+func FromRows(rows [][]float64) (*Dataset, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("dataset: empty input")
+	}
+	d := len(rows[0])
+	ds, err := New(len(rows), d)
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range rows {
+		if len(row) != d {
+			return nil, fmt.Errorf("dataset: row %d has %d values, want %d", i, len(row), d)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset: non-finite value at (%d,%d)", i, j)
+			}
+			ds.data[i*d+j] = v
+		}
+	}
+	return ds, nil
+}
+
+// N returns the number of objects (rows).
+func (ds *Dataset) N() int { return ds.n }
+
+// D returns the number of dimensions (columns).
+func (ds *Dataset) D() int { return ds.d }
+
+// At returns the value of object i on dimension j.
+func (ds *Dataset) At(i, j int) float64 { return ds.data[i*ds.d+j] }
+
+// Set assigns the value of object i on dimension j and invalidates the
+// cached column statistics.
+func (ds *Dataset) Set(i, j int, v float64) {
+	ds.data[i*ds.d+j] = v
+	ds.statsReady = false
+}
+
+// Row returns object i's values as a slice sharing the dataset's storage.
+// Callers must not modify it; use Set for writes.
+func (ds *Dataset) Row(i int) []float64 {
+	return ds.data[i*ds.d : (i+1)*ds.d : (i+1)*ds.d]
+}
+
+// Col gathers dimension j's values into a freshly allocated slice.
+func (ds *Dataset) Col(j int) []float64 {
+	out := make([]float64, ds.n)
+	for i := 0; i < ds.n; i++ {
+		out[i] = ds.data[i*ds.d+j]
+	}
+	return out
+}
+
+// ColInto gathers dimension j into dst (len >= n) and returns dst[:n],
+// avoiding an allocation on hot paths.
+func (ds *Dataset) ColInto(j int, dst []float64) []float64 {
+	dst = dst[:ds.n]
+	for i := 0; i < ds.n; i++ {
+		dst[i] = ds.data[i*ds.d+j]
+	}
+	return dst
+}
+
+// ensureStats computes per-column mean/variance/min/max in one pass.
+func (ds *Dataset) ensureStats() {
+	if ds.statsReady {
+		return
+	}
+	d := ds.d
+	mean := make([]float64, d)
+	m2 := make([]float64, d)
+	mn := make([]float64, d)
+	mx := make([]float64, d)
+	for j := 0; j < d; j++ {
+		mn[j] = math.Inf(1)
+		mx[j] = math.Inf(-1)
+	}
+	for i := 0; i < ds.n; i++ {
+		base := i * d
+		cnt := float64(i + 1)
+		for j := 0; j < d; j++ {
+			v := ds.data[base+j]
+			delta := v - mean[j]
+			mean[j] += delta / cnt
+			m2[j] += delta * (v - mean[j])
+			if v < mn[j] {
+				mn[j] = v
+			}
+			if v > mx[j] {
+				mx[j] = v
+			}
+		}
+	}
+	vr := make([]float64, d)
+	if ds.n > 1 {
+		for j := 0; j < d; j++ {
+			vr[j] = m2[j] / float64(ds.n-1)
+		}
+	}
+	ds.colMean, ds.colVar, ds.colMin, ds.colMax = mean, vr, mn, mx
+	ds.statsReady = true
+}
+
+// ColMean returns the mean of dimension j over all objects.
+func (ds *Dataset) ColMean(j int) float64 { ds.ensureStats(); return ds.colMean[j] }
+
+// ColVariance returns the unbiased sample variance s²_j of dimension j over
+// all objects — the paper's estimate of the global population variance σ²_j.
+func (ds *Dataset) ColVariance(j int) float64 { ds.ensureStats(); return ds.colVar[j] }
+
+// ColMin returns the minimum of dimension j.
+func (ds *Dataset) ColMin(j int) float64 { ds.ensureStats(); return ds.colMin[j] }
+
+// ColMax returns the maximum of dimension j.
+func (ds *Dataset) ColMax(j int) float64 { ds.ensureStats(); return ds.colMax[j] }
+
+// ColRange returns max−min of dimension j.
+func (ds *Dataset) ColRange(j int) float64 {
+	ds.ensureStats()
+	return ds.colMax[j] - ds.colMin[j]
+}
+
+// SubsetMedian returns the median projection of the given objects on
+// dimension j. It is the µ̃_ij of the paper's objective for cluster members
+// `objs`.
+func (ds *Dataset) SubsetMedian(objs []int, j int) float64 {
+	buf := make([]float64, len(objs))
+	for t, i := range objs {
+		buf[t] = ds.At(i, j)
+	}
+	return stats.MedianInPlace(buf)
+}
+
+// SubsetMeanVariance returns the mean µ_ij and unbiased sample variance
+// s²_ij of the given objects' projections on dimension j.
+func (ds *Dataset) SubsetMeanVariance(objs []int, j int) (mean, variance float64) {
+	var r stats.Running
+	for _, i := range objs {
+		r.Add(ds.At(i, j))
+	}
+	return r.Mean(), r.Variance()
+}
+
+// MedianVector returns the virtual object whose projection on each dimension
+// is the median of objs — the "cluster median" SSPC promotes to cluster
+// representative after each iteration (§4 of the paper).
+func (ds *Dataset) MedianVector(objs []int) []float64 {
+	out := make([]float64, ds.d)
+	buf := make([]float64, len(objs))
+	for j := 0; j < ds.d; j++ {
+		for t, i := range objs {
+			buf[t] = ds.At(i, j)
+		}
+		out[j] = stats.MedianInPlace(buf)
+	}
+	return out
+}
+
+// MeanVector returns the centroid of objs (used by the mean-representative
+// ablation).
+func (ds *Dataset) MeanVector(objs []int) []float64 {
+	out := make([]float64, ds.d)
+	if len(objs) == 0 {
+		return out
+	}
+	for _, i := range objs {
+		row := ds.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	inv := 1 / float64(len(objs))
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// Clone returns a deep copy of the dataset (statistics cache not copied).
+func (ds *Dataset) Clone() *Dataset {
+	out := &Dataset{n: ds.n, d: ds.d, data: make([]float64, len(ds.data))}
+	copy(out.data, ds.data)
+	return out
+}
+
+// AppendColumns returns a new dataset whose columns are this dataset's
+// columns followed by other's. Both must have the same number of rows. It is
+// the combinator behind the multiple-groupings experiment (paper §5.4).
+func (ds *Dataset) AppendColumns(other *Dataset) (*Dataset, error) {
+	if ds.n != other.n {
+		return nil, fmt.Errorf("dataset: row mismatch %d vs %d", ds.n, other.n)
+	}
+	out, err := New(ds.n, ds.d+other.d)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ds.n; i++ {
+		copy(out.data[i*out.d:], ds.Row(i))
+		copy(out.data[i*out.d+ds.d:], other.Row(i))
+	}
+	return out, nil
+}
+
+// EuclideanSq returns the squared Euclidean distance between objects a and b
+// over the given dimensions (all dimensions when dims is nil).
+func (ds *Dataset) EuclideanSq(a, b int, dims []int) float64 {
+	ra, rb := ds.Row(a), ds.Row(b)
+	s := 0.0
+	if dims == nil {
+		for j := range ra {
+			diff := ra[j] - rb[j]
+			s += diff * diff
+		}
+		return s
+	}
+	for _, j := range dims {
+		diff := ra[j] - rb[j]
+		s += diff * diff
+	}
+	return s
+}
+
+// SegmentalDistance returns the Manhattan segmental distance of PROCLUS:
+// the average absolute per-dimension difference over dims.
+func (ds *Dataset) SegmentalDistance(a int, point []float64, dims []int) float64 {
+	if len(dims) == 0 {
+		return 0
+	}
+	row := ds.Row(a)
+	s := 0.0
+	for _, j := range dims {
+		s += math.Abs(row[j] - point[j])
+	}
+	return s / float64(len(dims))
+}

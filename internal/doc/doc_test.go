@@ -1,0 +1,145 @@
+package doc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/synth"
+)
+
+func TestRunValidation(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 60, D: 10, K: 2, AvgDims: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(nil, DefaultOptions(2, 10)); err == nil {
+		t.Error("nil dataset should error")
+	}
+	if _, err := Run(gt.Data, DefaultOptions(0, 10)); err == nil {
+		t.Error("K=0 should error")
+	}
+	bad := DefaultOptions(2, 0)
+	if _, err := Run(gt.Data, bad); err == nil {
+		t.Error("W=0 should error")
+	}
+	bad = DefaultOptions(2, 10)
+	bad.Beta = 0.9
+	if _, err := Run(gt.Data, bad); err == nil {
+		t.Error("Beta>0.5 should error")
+	}
+	bad = DefaultOptions(2, 10)
+	bad.Alpha = 0
+	if _, err := Run(gt.Data, bad); err == nil {
+		t.Error("Alpha=0 should error")
+	}
+}
+
+func TestFindsHypercubeClusters(t *testing.T) {
+	// DOC's favourable case: tight clusters that fit in a box of width 2w.
+	gt, err := synth.Generate(synth.Config{
+		N: 300, D: 20, K: 3, AvgDims: 8,
+		LocalSDMinFrac: 0.01, LocalSDMaxFrac: 0.03, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bestARI float64
+	for r := 0; r < 3; r++ {
+		opts := DefaultOptions(3, 15)
+		opts.Seed = int64(r)
+		res, err := Run(gt.Data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(300, 20); err != nil {
+			t.Fatal(err)
+		}
+		a, err := eval.ARI(gt.Labels, res.Assignments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a > bestARI {
+			bestARI = a
+		}
+	}
+	if bestARI < 0.4 {
+		t.Errorf("best ARI = %v on tight hypercube clusters, want >= 0.4", bestARI)
+	}
+}
+
+func TestFastDOCRuns(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{
+		N: 200, D: 15, K: 2, AvgDims: 6,
+		LocalSDMinFrac: 0.01, LocalSDMaxFrac: 0.03, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(2, 15)
+	opts.Fast = true
+	res, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(200, 15); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClustersAreDisjoint(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 150, D: 12, K: 3, AvgDims: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(gt.Data, DefaultOptions(3, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every object has exactly one assignment by construction; validate
+	// bounds via the shared validator plus non-overlap by size accounting.
+	sizes, outliers := res.Sizes()
+	total := outliers
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 150 {
+		t.Errorf("assignment accounting broken: %d != 150", total)
+	}
+}
+
+func TestMuMonotonicity(t *testing.T) {
+	// µ grows with both size and dimensionality, and a dimension is worth
+	// more than an extra point when β < 0.5.
+	if !(mu(10, 3, 0.25) > mu(9, 3, 0.25)) {
+		t.Error("µ should grow with cluster size")
+	}
+	if !(mu(10, 4, 0.25) > mu(10, 3, 0.25)) {
+		t.Error("µ should grow with dimensionality")
+	}
+	if math.IsInf(mu(1000000, 1000, 0.25), 0) {
+		t.Error("µ overflowed; log-space computation expected")
+	}
+}
+
+func TestWidthControlsDimensions(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{
+		N: 200, D: 20, K: 2, AvgDims: 8,
+		LocalSDMinFrac: 0.01, LocalSDMaxFrac: 0.02, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A very wide box makes every dimension "relevant" for any sample.
+	wide := DefaultOptions(2, 200)
+	wide.Seed = 1
+	resWide, err := Run(gt.Data, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first (largest) extracted box should cover nearly all dims; later
+	// clusters may be empty because the wide box swallows every point.
+	if got := len(resWide.Dims[0]); got < 19 {
+		t.Errorf("width 200 should select nearly all dims for cluster 0, got %d", got)
+	}
+}

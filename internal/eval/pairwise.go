@@ -1,0 +1,59 @@
+package eval
+
+import "math"
+
+// Pairwise precision/recall/F-measure complement the ARI: they read the
+// same pair counts but are easier to interpret when diagnosing whether an
+// algorithm over-merges (low precision) or over-splits (low recall).
+
+// PairwiseScores holds pair-counting precision, recall and F1.
+type PairwiseScores struct {
+	Precision, Recall, F1 float64
+}
+
+// Pairwise computes pair-counting precision (A/(A+C)), recall (A/(A+B)) and
+// their harmonic mean between a ground-truth and a predicted partition.
+// Outliers are singletons, as in CountPairs.
+func Pairwise(truth, pred []int) (PairwiseScores, error) {
+	pc, err := CountPairs(truth, pred)
+	if err != nil {
+		return PairwiseScores{}, err
+	}
+	var s PairwiseScores
+	if pc.A+pc.C > 0 {
+		s.Precision = pc.A / (pc.A + pc.C)
+	}
+	if pc.A+pc.B > 0 {
+		s.Recall = pc.A / (pc.A + pc.B)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s, nil
+}
+
+// ConditionalEntropy returns H(truth | pred) in nats: how much uncertainty
+// about the true class remains once the predicted cluster is known. Zero
+// means the prediction determines the class exactly.
+func ConditionalEntropy(truth, pred []int) (float64, error) {
+	if len(truth) != len(pred) {
+		return math.NaN(), errLengthMismatch
+	}
+	n := float64(len(truth))
+	if n == 0 {
+		return math.NaN(), errEmpty
+	}
+	joint := make(map[[2]int]float64)
+	pv := make(map[int]float64)
+	for i := range truth {
+		joint[[2]int{truth[i], pred[i]}]++
+		pv[pred[i]]++
+	}
+	h := 0.0
+	for key, c := range joint {
+		pxy := c / n
+		py := pv[key[1]] / n
+		h -= pxy * math.Log(pxy/py)
+	}
+	return h, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proclus"
+	"repro/internal/synth"
+)
+
+// timeRuns returns the wall-clock seconds of `repeats` repeated runs of fn,
+// matching the paper's "execution time of 10 repeated runs" metric.
+func timeRuns(repeats int, fn func(seed int64) error) (float64, error) {
+	start := time.Now()
+	for r := 0; r < repeats; r++ {
+		if err := fn(int64(r)); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// scalability generates a dataset for each (n, d) point and times SSPC and
+// PROCLUS on it.
+func scalability(cfg Config, points [][2]int, label func(p [2]int) string, title string) (*Table, error) {
+	cfg = cfg.normalized()
+	const k, lreal = 5, 10
+	t := &Table{
+		Title:   title,
+		XLabel:  "size",
+		Columns: []string{"SSPC sec", "PROCLUS sec"},
+	}
+	for _, p := range points {
+		n, d := p[0], p[1]
+		gt, err := synth.Generate(synth.Config{
+			N: n, D: d, K: k, AvgDims: lreal, Seed: cfg.Seed + int64(n+d),
+		})
+		if err != nil {
+			return nil, err
+		}
+		sspcSec, err := timeRuns(cfg.Repeats, func(seed int64) error {
+			opts := core.DefaultOptions(k)
+			opts.Seed = seed
+			_, err := core.Run(gt.Data, opts)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		proclusSec, err := timeRuns(cfg.Repeats, func(seed int64) error {
+			opts := proclus.DefaultOptions(k, lreal)
+			opts.Seed = seed
+			_, err := proclus.Run(gt.Data, opts)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(label(p), sspcSec, proclusSec)
+	}
+	return t, nil
+}
+
+// Figure8a regenerates the dataset-size scalability series: execution time
+// of repeated SSPC and PROCLUS runs as n grows with d fixed (§5.5).
+func Figure8a(cfg Config) (*Table, error) {
+	cfg = cfg.normalized()
+	base := scaleInt(1000, cfg.Scale, 250)
+	points := [][2]int{
+		{base, 100}, {2 * base, 100}, {4 * base, 100}, {8 * base, 100},
+	}
+	return scalability(cfg, points,
+		func(p [2]int) string { return fmt.Sprintf("n=%d", p[0]) },
+		fmt.Sprintf("Figure 8a: execution time of %d repeated runs vs n (d=100)", cfg.normalized().Repeats))
+}
+
+// Figure8b regenerates the dimensionality scalability series: execution
+// time as d grows with n fixed (§5.5).
+func Figure8b(cfg Config) (*Table, error) {
+	cfg = cfg.normalized()
+	baseN := scaleInt(1000, cfg.Scale, 250)
+	points := [][2]int{
+		{baseN, 100}, {baseN, 200}, {baseN, 400}, {baseN, 800},
+	}
+	return scalability(cfg, points,
+		func(p [2]int) string { return fmt.Sprintf("d=%d", p[1]) },
+		fmt.Sprintf("Figure 8b: execution time of %d repeated runs vs d (n=%d)", cfg.normalized().Repeats, baseN))
+}

@@ -1,0 +1,201 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+func mustData(t *testing.T, rows [][]float64) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBuildValidation(t *testing.T) {
+	ds := mustData(t, [][]float64{{1, 2}, {3, 4}})
+	if _, err := Build(ds, nil, 4, nil); err == nil {
+		t.Error("no dims should error")
+	}
+	if _, err := Build(ds, []int{0}, 1, nil); err == nil {
+		t.Error("1 bin should error")
+	}
+	if _, err := Build(ds, []int{0}, 4, []int{}); err == nil {
+		t.Error("empty include should error")
+	}
+	big := make([]int, 30)
+	if _, err := Build(ds, big, 100, nil); err == nil {
+		t.Error("unencodable cell space should error")
+	}
+}
+
+func TestGridCellMembership(t *testing.T) {
+	// Two tight groups along dim 0: around 0 and around 10.
+	ds := mustData(t, [][]float64{{0}, {0.1}, {0.2}, {10}, {9.9}})
+	g, err := Build(ds, []int{0}, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, count := g.Peak()
+	if count != 3 {
+		t.Errorf("peak count = %d, want 3", count)
+	}
+	objs := g.Objects(peak)
+	if len(objs) != 3 {
+		t.Errorf("peak members = %v", objs)
+	}
+	for _, o := range objs {
+		if o > 2 {
+			t.Errorf("wrong object %d in low peak", o)
+		}
+	}
+}
+
+func TestGridInclude(t *testing.T) {
+	ds := mustData(t, [][]float64{{0}, {0}, {0}, {10}, {10}})
+	g, err := Build(ds, []int{0}, 2, []int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, count := g.Peak()
+	if count != 2 {
+		t.Errorf("peak with include = %d, want 2", count)
+	}
+	if g.NumOccupiedCells() != 1 {
+		t.Errorf("occupied cells = %d", g.NumOccupiedCells())
+	}
+}
+
+func TestCellOfPointMatchesObjects(t *testing.T) {
+	ds := mustData(t, [][]float64{{1, 5}, {2, 6}, {9, 1}})
+	g, err := Build(ds, []int{0, 1}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cell of object 0's own projections must contain object 0.
+	cell := g.CellOfPoint([]float64{ds.At(0, 0), ds.At(0, 1)})
+	found := false
+	for _, o := range g.Objects(cell) {
+		if o == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("object 0 not in its own cell")
+	}
+}
+
+func TestHillClimbReachesPeak(t *testing.T) {
+	// Density ramp along one dimension: cells 0..4 hold 1,2,3,4,10 objects.
+	var rows [][]float64
+	add := func(v float64, times int) {
+		for i := 0; i < times; i++ {
+			rows = append(rows, []float64{v})
+		}
+	}
+	add(0.5, 1)
+	add(1.5, 2)
+	add(2.5, 3)
+	add(3.5, 4)
+	add(4.4, 10)
+	ds := mustData(t, rows)
+	g, err := Build(ds, []int{0}, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := g.CellOfPoint([]float64{0.5})
+	peak := g.HillClimb(start)
+	if got := g.Count(peak); got != 10 {
+		t.Errorf("hill climb stopped at density %d, want 10", got)
+	}
+}
+
+func TestHillClimbStopsAtLocalPeak(t *testing.T) {
+	// Two peaks separated by a valley; climbing from the left must stop at
+	// the left peak (localized search, not global).
+	var rows [][]float64
+	add := func(v float64, times int) {
+		for i := 0; i < times; i++ {
+			rows = append(rows, []float64{v})
+		}
+	}
+	add(0.5, 8)  // left peak (cell 0)
+	add(1.5, 2)  // valley
+	add(2.5, 1)  // valley
+	add(3.5, 2)  // rise
+	add(4.5, 20) // right peak (cell 4)
+	ds := mustData(t, rows)
+	g, err := Build(ds, []int{0}, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := g.CellOfPoint([]float64{1.5})
+	peak := g.HillClimb(start)
+	if got := g.Count(peak); got != 8 {
+		t.Errorf("localized climb found density %d, want left peak 8", got)
+	}
+}
+
+func TestHillClimbOnPlateauTerminates(t *testing.T) {
+	ds := mustData(t, [][]float64{{0.5}, {1.5}, {2.5}, {3.5}})
+	g, err := Build(ds, []int{0}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := g.CellOfPoint([]float64{1.5})
+	peak := g.HillClimb(start) // all cells density 1: must not loop
+	if g.Count(peak) != 1 {
+		t.Errorf("plateau climb wrong: %d", g.Count(peak))
+	}
+}
+
+func TestGridFindsSyntheticClusterCenter(t *testing.T) {
+	// End-to-end: on a generated dataset, a grid over a cluster's true
+	// relevant dims should have its peak populated mostly by that cluster.
+	gt, err := synth.Generate(synth.Config{N: 500, D: 30, K: 3, AvgDims: 6, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		dims := gt.Dims[c][:3]
+		g, err := Build(gt.Data, dims, 6, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak, count := g.Peak()
+		if count < 10 {
+			t.Errorf("class %d: peak density %d too small", c, count)
+			continue
+		}
+		inClass := 0
+		for _, o := range g.Objects(peak) {
+			if gt.Labels[o] == c {
+				inClass++
+			}
+		}
+		if frac := float64(inClass) / float64(count); frac < 0.8 {
+			t.Errorf("class %d: only %.2f of peak objects are members", c, frac)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ds := mustData(t, [][]float64{{0, 0, 0}, {9, 9, 9}})
+	g, err := Build(ds, []int{0, 1, 2}, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, coords := range [][]int{{0, 0, 0}, {6, 6, 6}, {1, 3, 5}, {2, 0, 4}} {
+		key := g.encode(coords)
+		back := g.decode(key)
+		for t2 := range coords {
+			if back[t2] != coords[t2] {
+				t.Fatalf("round trip %v -> %v", coords, back)
+			}
+		}
+	}
+}

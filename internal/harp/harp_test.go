@@ -1,0 +1,132 @@
+package harp
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/synth"
+)
+
+func TestRunValidation(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 50, D: 10, K: 2, AvgDims: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(nil, DefaultOptions(2)); err == nil {
+		t.Error("nil dataset should error")
+	}
+	if _, err := Run(gt.Data, DefaultOptions(0)); err == nil {
+		t.Error("K=0 should error")
+	}
+	if _, err := Run(gt.Data, DefaultOptions(100)); err == nil {
+		t.Error("K>n should error")
+	}
+}
+
+func TestRecoverHighDimensionalityClusters(t *testing.T) {
+	// HARP's sweet spot: 40% relevant dimensions.
+	gt, err := synth.Generate(synth.Config{N: 250, D: 30, K: 3, AvgDims: 12, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(gt.Data, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(250, 30); err != nil {
+		t.Fatal(err)
+	}
+	a, err := eval.ARI(gt.Labels, res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < 0.5 {
+		t.Errorf("ARI = %v at 40%% dims, want >= 0.5", a)
+	}
+}
+
+func TestReachesTargetK(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 120, D: 15, K: 4, AvgDims: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(gt.Data, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, _ := res.Sizes()
+	nonEmpty := 0
+	for _, s := range sizes {
+		if s > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Error("no clusters produced")
+	}
+	if len(sizes) != 4 {
+		t.Errorf("K = %d, want 4", len(sizes))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 100, D: 12, K: 3, AvgDims: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(gt.Data, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(gt.Data, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("HARP should be deterministic (no random choices)")
+		}
+	}
+}
+
+func TestDegradesAtVeryLowDimensionality(t *testing.T) {
+	// The motivating observation of the SSPC paper: HARP's accuracy drops
+	// when relevant dims are ~5% of d. We only check it does not beat its
+	// own high-dimensionality accuracy.
+	lowGt, err := synth.Generate(synth.Config{N: 250, D: 60, K: 3, AvgDims: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	highGt, err := synth.Generate(synth.Config{N: 250, D: 60, K: 3, AvgDims: 24, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowRes, err := Run(lowGt.Data, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	highRes, err := Run(highGt.Data, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowARI, _ := eval.ARI(lowGt.Labels, lowRes.Assignments)
+	highARI, _ := eval.ARI(highGt.Labels, highRes.Assignments)
+	t.Logf("HARP ARI: 5%% dims = %.3f, 40%% dims = %.3f", lowARI, highARI)
+	if lowARI > highARI+0.15 {
+		t.Errorf("HARP at 5%% dims (%v) unexpectedly beat 40%% dims (%v)", lowARI, highARI)
+	}
+}
+
+func TestTinyDataset(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 10, D: 5, K: 2, AvgDims: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(gt.Data, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(10, 5); err != nil {
+		t.Fatal(err)
+	}
+}

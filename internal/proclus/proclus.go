@@ -1,0 +1,488 @@
+// Package proclus implements PROCLUS (Aggarwal, Procopiuc, Wolf, Yu, Park —
+// SIGMOD 1999), the partitional projected clustering baseline of the SSPC
+// paper's evaluation. PROCLUS is a k-medoid method: it greedily picks a set
+// of well-separated medoid candidates, iteratively selects per-cluster
+// dimensions from the locality of each medoid via z-scores of the average
+// per-dimension distances, assigns points by Manhattan segmental distance,
+// and replaces the medoids of bad (small) clusters.
+//
+// PROCLUS requires the user to supply l, the average number of relevant
+// dimensions per cluster — the parameter whose misspecification the SSPC
+// paper's Figure 4 studies.
+package proclus
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Options configures a PROCLUS run.
+type Options struct {
+	// K is the number of clusters; L is the average cluster dimensionality
+	// (the paper's l). K*L dimensions are distributed greedily with at
+	// least 2 per cluster.
+	K int
+	L int
+
+	// SampleFactor (A) and CandidateFactor (B) size the random sample
+	// (A·K) and the greedy piercing set (B·K) of the initialization phase.
+	SampleFactor    int
+	CandidateFactor int
+
+	// MinDeviation flags clusters with fewer than MinDeviation·(n/K)
+	// members as bad. MaxStall terminates the iterative phase after this
+	// many non-improving medoid replacements; MaxIterations is a hard cap.
+	MinDeviation  float64
+	MaxStall      int
+	MaxIterations int
+
+	// OutlierHandling enables the refinement-phase outlier pass: points
+	// farther from every medoid than that medoid's sphere of influence are
+	// discarded.
+	OutlierHandling bool
+
+	Seed int64
+}
+
+// DefaultOptions mirrors the constants of the original paper.
+func DefaultOptions(k, l int) Options {
+	return Options{
+		K:               k,
+		L:               l,
+		SampleFactor:    30,
+		CandidateFactor: 5,
+		MinDeviation:    0.1,
+		MaxStall:        10,
+		MaxIterations:   60,
+		OutlierHandling: true,
+	}
+}
+
+func (o Options) normalized(ds *dataset.Dataset) (Options, error) {
+	if ds == nil {
+		return o, errors.New("proclus: nil dataset")
+	}
+	if o.K <= 0 || o.K > ds.N() {
+		return o, fmt.Errorf("proclus: K = %d out of range", o.K)
+	}
+	if o.L < 2 {
+		return o, fmt.Errorf("proclus: L = %d (needs >= 2)", o.L)
+	}
+	if o.L > ds.D() {
+		return o, fmt.Errorf("proclus: L = %d exceeds d = %d", o.L, ds.D())
+	}
+	if o.SampleFactor <= 0 {
+		o.SampleFactor = 30
+	}
+	if o.CandidateFactor <= 0 {
+		o.CandidateFactor = 5
+	}
+	if o.MinDeviation <= 0 {
+		o.MinDeviation = 0.1
+	}
+	if o.MaxStall <= 0 {
+		o.MaxStall = 10
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 60
+	}
+	return o, nil
+}
+
+// Run executes PROCLUS and returns the clustering.
+func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
+	opts, err := opts.normalized(ds)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(opts.Seed)
+	n := ds.N()
+
+	candidates := greedyPiercing(ds, rng, opts)
+	if len(candidates) < opts.K {
+		return nil, fmt.Errorf("proclus: only %d medoid candidates for K=%d", len(candidates), opts.K)
+	}
+
+	// Current medoid set: the first K candidates (they are already spread
+	// out by the greedy max-min construction).
+	medoids := append([]int(nil), candidates[:opts.K]...)
+
+	assign := make([]int, n)
+	bestAssign := make([]int, n)
+	var bestDims [][]int
+	bestCost := math.Inf(1)
+	bestMedoids := append([]int(nil), medoids...)
+
+	stall := 0
+	iterations := 0
+	for iterations < opts.MaxIterations && stall < opts.MaxStall {
+		iterations++
+		dims := findDimensions(ds, medoids, opts)
+		cost := assignPoints(ds, medoids, dims, assign)
+		if cost < bestCost {
+			bestCost = cost
+			copy(bestAssign, assign)
+			bestDims = dims
+			copy(bestMedoids, medoids)
+			stall = 0
+		} else {
+			stall++
+			copy(medoids, bestMedoids)
+		}
+		// Replace the medoid of the worst (smallest) cluster with a random
+		// unused candidate.
+		sizes := make([]int, opts.K)
+		for _, c := range bestAssign {
+			if c >= 0 {
+				sizes[c]++
+			}
+		}
+		worst := 0
+		for i, s := range sizes {
+			if s < sizes[worst] {
+				worst = i
+			}
+		}
+		used := make(map[int]bool, opts.K)
+		for _, m := range medoids {
+			used[m] = true
+		}
+		var free []int
+		for _, c := range candidates {
+			if !used[c] {
+				free = append(free, c)
+			}
+		}
+		if len(free) == 0 {
+			break
+		}
+		medoids[worst] = free[rng.Intn(len(free))]
+	}
+
+	// Refinement phase: redetermine dimensions from the final clusters
+	// (instead of localities) and reassign once.
+	if bestDims == nil {
+		bestDims = findDimensions(ds, bestMedoids, opts)
+	}
+	refined := refineDimensions(ds, bestMedoids, bestAssign, opts)
+	finalCost := assignPoints(ds, bestMedoids, refined, bestAssign)
+	if opts.OutlierHandling {
+		markOutliers(ds, bestMedoids, refined, bestAssign)
+	}
+
+	res := &cluster.Result{
+		K:                   opts.K,
+		Assignments:         append([]int(nil), bestAssign...),
+		Dims:                refined,
+		Score:               finalCost,
+		ScoreHigherIsBetter: false,
+		Iterations:          iterations,
+	}
+	if err := res.Validate(n, ds.D()); err != nil {
+		return nil, fmt.Errorf("proclus: internal result invalid: %w", err)
+	}
+	return res, nil
+}
+
+// greedyPiercing draws a sample of A·K objects and greedily selects B·K of
+// them by max-min full-dimensional distance (the "piercing set" likely to
+// contain a medoid of each real cluster).
+func greedyPiercing(ds *dataset.Dataset, rng *stats.RNG, opts Options) []int {
+	n := ds.N()
+	sampleSize := opts.SampleFactor * opts.K
+	if sampleSize > n {
+		sampleSize = n
+	}
+	sample := rng.Sample(n, sampleSize)
+	target := opts.CandidateFactor * opts.K
+	if target > len(sample) {
+		target = len(sample)
+	}
+
+	picked := []int{sample[rng.Intn(len(sample))]}
+	minDist := make([]float64, len(sample))
+	for t, s := range sample {
+		minDist[t] = ds.EuclideanSq(s, picked[0], nil)
+	}
+	for len(picked) < target {
+		bestT := 0
+		for t := range sample {
+			if minDist[t] > minDist[bestT] {
+				bestT = t
+			}
+		}
+		next := sample[bestT]
+		picked = append(picked, next)
+		for t, s := range sample {
+			if d := ds.EuclideanSq(s, next, nil); d < minDist[t] {
+				minDist[t] = d
+			}
+		}
+	}
+	return picked
+}
+
+// findDimensions implements the iterative-phase dimension selection: for
+// each medoid, the locality L_i (points within δ_i, the distance to the
+// nearest other medoid) yields average per-dimension distances X_ij, whose
+// z-scores are ranked globally to distribute K·L dimensions with at least 2
+// per cluster.
+func findDimensions(ds *dataset.Dataset, medoids []int, opts Options) [][]int {
+	k := len(medoids)
+	d := ds.D()
+	X := make([][]float64, k)
+
+	for i, m := range medoids {
+		// δ_i: distance to the nearest other medoid (all dimensions).
+		delta := math.Inf(1)
+		for j, other := range medoids {
+			if j == i {
+				continue
+			}
+			if dist := ds.EuclideanSq(m, other, nil); dist < delta {
+				delta = dist
+			}
+		}
+		// Locality: points within δ_i of the medoid.
+		var locality []int
+		for p := 0; p < ds.N(); p++ {
+			if ds.EuclideanSq(p, m, nil) <= delta {
+				locality = append(locality, p)
+			}
+		}
+		if len(locality) == 0 {
+			locality = []int{m}
+		}
+		X[i] = make([]float64, d)
+		mrow := ds.Row(m)
+		for _, p := range locality {
+			prow := ds.Row(p)
+			for j := 0; j < d; j++ {
+				X[i][j] += math.Abs(prow[j] - mrow[j])
+			}
+		}
+		for j := 0; j < d; j++ {
+			X[i][j] /= float64(len(locality))
+		}
+	}
+
+	// Z-scores within each cluster.
+	type scored struct {
+		cluster, dim int
+		z            float64
+	}
+	var all []scored
+	for i := 0; i < k; i++ {
+		var r stats.Running
+		for j := 0; j < d; j++ {
+			r.Add(X[i][j])
+		}
+		sigma := math.Sqrt(r.Variance())
+		if sigma == 0 {
+			sigma = 1
+		}
+		for j := 0; j < d; j++ {
+			all = append(all, scored{i, j, (X[i][j] - r.Mean()) / sigma})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].z < all[b].z })
+
+	// Greedy distribution: 2 per cluster first, then the globally smallest
+	// z-scores until K·L dimensions are taken.
+	total := opts.K * opts.L
+	dims := make([][]int, k)
+	taken := 0
+	// First pass: two best dims for each cluster.
+	perCluster := make([][]scored, k)
+	for _, s := range all {
+		perCluster[s.cluster] = append(perCluster[s.cluster], s)
+	}
+	used := make(map[[2]int]bool)
+	for i := 0; i < k; i++ {
+		for t := 0; t < 2 && t < len(perCluster[i]); t++ {
+			s := perCluster[i][t]
+			dims[i] = append(dims[i], s.dim)
+			used[[2]int{i, s.dim}] = true
+			taken++
+		}
+	}
+	for _, s := range all {
+		if taken >= total {
+			break
+		}
+		if used[[2]int{s.cluster, s.dim}] {
+			continue
+		}
+		dims[s.cluster] = append(dims[s.cluster], s.dim)
+		used[[2]int{s.cluster, s.dim}] = true
+		taken++
+	}
+	for i := range dims {
+		sort.Ints(dims[i])
+	}
+	return dims
+}
+
+// assignPoints assigns every object to the medoid with the smallest
+// Manhattan segmental distance and returns the PROCLUS cost: the average
+// within-cluster segmental dispersion weighted by cluster size.
+func assignPoints(ds *dataset.Dataset, medoids []int, dims [][]int, assign []int) float64 {
+	n := ds.N()
+	k := len(medoids)
+	medoidRows := make([][]float64, k)
+	for i, m := range medoids {
+		medoidRows[i] = ds.Row(m)
+	}
+	for p := 0; p < n; p++ {
+		best := math.Inf(1)
+		arg := 0
+		for i := 0; i < k; i++ {
+			if d := ds.SegmentalDistance(p, medoidRows[i], dims[i]); d < best {
+				best = d
+				arg = i
+			}
+		}
+		assign[p] = arg
+	}
+	// Cost: (1/n) Σ_i n_i w_i with w_i the mean segmental distance of the
+	// members to their centroid over the cluster's dimensions.
+	cost := 0.0
+	for i := 0; i < k; i++ {
+		var members []int
+		for p := 0; p < n; p++ {
+			if assign[p] == i {
+				members = append(members, p)
+			}
+		}
+		if len(members) == 0 || len(dims[i]) == 0 {
+			continue
+		}
+		centroid := ds.MeanVector(members)
+		sum := 0.0
+		for _, p := range members {
+			sum += ds.SegmentalDistance(p, centroid, dims[i])
+		}
+		cost += sum // Σ n_i·w_i = Σ over members of segmental distance
+	}
+	return cost / float64(n)
+}
+
+// refineDimensions redoes dimension selection using the actual clusters in
+// place of the localities (the refinement phase of the paper).
+func refineDimensions(ds *dataset.Dataset, medoids []int, assign []int, opts Options) [][]int {
+	k := len(medoids)
+	d := ds.D()
+	X := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range X {
+		X[i] = make([]float64, d)
+	}
+	for p, c := range assign {
+		if c < 0 {
+			continue
+		}
+		prow := ds.Row(p)
+		mrow := ds.Row(medoids[c])
+		for j := 0; j < d; j++ {
+			X[c][j] += math.Abs(prow[j] - mrow[j])
+		}
+		counts[c]++
+	}
+	for i := 0; i < k; i++ {
+		if counts[i] == 0 {
+			counts[i] = 1 // empty cluster: X stays all-zero
+		}
+		for j := 0; j < d; j++ {
+			X[i][j] /= float64(counts[i])
+		}
+	}
+
+	type scored struct {
+		cluster, dim int
+		z            float64
+	}
+	var all []scored
+	for i := 0; i < k; i++ {
+		var r stats.Running
+		for j := 0; j < d; j++ {
+			r.Add(X[i][j])
+		}
+		sigma := math.Sqrt(r.Variance())
+		if sigma == 0 {
+			sigma = 1
+		}
+		for j := 0; j < d; j++ {
+			all = append(all, scored{i, j, (X[i][j] - r.Mean()) / sigma})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].z < all[b].z })
+	total := opts.K * opts.L
+	dims := make([][]int, k)
+	perCluster := make([][]scored, k)
+	for _, s := range all {
+		perCluster[s.cluster] = append(perCluster[s.cluster], s)
+	}
+	used := make(map[[2]int]bool)
+	taken := 0
+	for i := 0; i < k; i++ {
+		for t := 0; t < 2 && t < len(perCluster[i]); t++ {
+			s := perCluster[i][t]
+			dims[i] = append(dims[i], s.dim)
+			used[[2]int{i, s.dim}] = true
+			taken++
+		}
+	}
+	for _, s := range all {
+		if taken >= total {
+			break
+		}
+		if used[[2]int{s.cluster, s.dim}] {
+			continue
+		}
+		dims[s.cluster] = append(dims[s.cluster], s.dim)
+		used[[2]int{s.cluster, s.dim}] = true
+		taken++
+	}
+	for i := range dims {
+		sort.Ints(dims[i])
+	}
+	return dims
+}
+
+// markOutliers discards points outside every medoid's sphere of influence:
+// the smallest segmental distance from the medoid to any other medoid in
+// the cluster's subspace.
+func markOutliers(ds *dataset.Dataset, medoids []int, dims [][]int, assign []int) {
+	k := len(medoids)
+	radius := make([]float64, k)
+	for i := 0; i < k; i++ {
+		radius[i] = math.Inf(1)
+		mrow := ds.Row(medoids[i])
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			if d := ds.SegmentalDistance(medoids[j], mrow, dims[i]); d < radius[i] {
+				radius[i] = d
+			}
+		}
+	}
+	for p := range assign {
+		inside := false
+		for i := 0; i < k; i++ {
+			if ds.SegmentalDistance(p, ds.Row(medoids[i]), dims[i]) <= radius[i] {
+				inside = true
+				break
+			}
+		}
+		if !inside {
+			assign[p] = cluster.Outlier
+		}
+	}
+}

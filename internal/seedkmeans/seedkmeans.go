@@ -1,0 +1,150 @@
+// Package seedkmeans implements Seeded-KMeans and Constrained-KMeans (Basu,
+// Banerjee, Mooney — ICML 2002), the "semi-supervised clustering by
+// seeding" methods the SSPC paper reviews as the simplest way of using
+// labeled objects ([4] in §2.2). Labeled objects seed the initial
+// centroids; in the constrained variant they additionally stay clamped to
+// their class's cluster during every assignment step.
+//
+// Like COP-KMeans it operates in the full space, so it serves as the second
+// semi-supervised non-projected reference in this repository.
+package seedkmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Options configures a run.
+type Options struct {
+	K int
+	// Constrained clamps labeled objects to their class's cluster
+	// (Constrained-KMeans); false reverts to plain seeding
+	// (Seeded-KMeans), where labels only initialize centroids.
+	Constrained   bool
+	MaxIterations int
+	Seed          int64
+}
+
+// DefaultOptions returns the seeded variant for k clusters.
+func DefaultOptions(k int) Options { return Options{K: k, MaxIterations: 100} }
+
+// Run executes Seeded-/Constrained-KMeans. Classes mentioned in kn map to
+// the cluster with the same index; clusters without seeds start from random
+// objects.
+func Run(ds *dataset.Dataset, kn *dataset.Knowledge, opts Options) (*cluster.Result, error) {
+	if ds == nil {
+		return nil, errors.New("seedkmeans: nil dataset")
+	}
+	n, d := ds.N(), ds.D()
+	if opts.K <= 0 || opts.K > n {
+		return nil, fmt.Errorf("seedkmeans: K = %d out of range", opts.K)
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 100
+	}
+	if err := kn.Validate(n, d, opts.K); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(opts.Seed)
+
+	// Seed the centroids: mean of each class's labeled objects; random
+	// objects for unseeded clusters.
+	centers := make([][]float64, opts.K)
+	for c := 0; c < opts.K; c++ {
+		seeds := kn.ObjectsOfClass(c)
+		if len(seeds) > 0 {
+			centers[c] = ds.MeanVector(seeds)
+		} else {
+			centers[c] = append([]float64(nil), ds.Row(rng.Intn(n))...)
+		}
+	}
+
+	clamped := map[int]int{}
+	if opts.Constrained && kn != nil {
+		for obj, c := range kn.ObjectLabels {
+			clamped[obj] = c
+		}
+	}
+
+	assign := make([]int, n)
+	var cost float64
+	iterations := 0
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		iterations++
+		cost = 0
+		for i := 0; i < n; i++ {
+			if c, ok := clamped[i]; ok {
+				assign[i] = c
+				cost += distSq(ds.Row(i), centers[c])
+				continue
+			}
+			best := math.Inf(1)
+			arg := 0
+			row := ds.Row(i)
+			for c := 0; c < opts.K; c++ {
+				if dist := distSq(row, centers[c]); dist < best {
+					best = dist
+					arg = c
+				}
+			}
+			assign[i] = arg
+			cost += best
+		}
+		// Update step.
+		counts := make([]int, opts.K)
+		sums := make([][]float64, opts.K)
+		for c := range sums {
+			sums[c] = make([]float64, d)
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			row := ds.Row(i)
+			for j := 0; j < d; j++ {
+				sums[c][j] += row[j]
+			}
+		}
+		moved := false
+		for c := 0; c < opts.K; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := 0; j < d; j++ {
+				v := sums[c][j] / float64(counts[c])
+				if v != centers[c][j] {
+					moved = true
+				}
+				centers[c][j] = v
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+
+	res := &cluster.Result{
+		K:                   opts.K,
+		Assignments:         assign,
+		Score:               cost,
+		ScoreHigherIsBetter: false,
+		Iterations:          iterations,
+	}
+	if err := res.Validate(n, d); err != nil {
+		return nil, fmt.Errorf("seedkmeans: internal result invalid: %w", err)
+	}
+	return res, nil
+}
+
+func distSq(a, b []float64) float64 {
+	s := 0.0
+	for j := range a {
+		diff := a[j] - b[j]
+		s += diff * diff
+	}
+	return s
+}

@@ -1,0 +1,157 @@
+package seedkmeans
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/synth"
+)
+
+func TestRunValidation(t *testing.T) {
+	ds, _ := dataset.FromRows([][]float64{{1}, {2}})
+	if _, err := Run(nil, nil, DefaultOptions(1)); err == nil {
+		t.Error("nil dataset should error")
+	}
+	if _, err := Run(ds, nil, DefaultOptions(0)); err == nil {
+		t.Error("K=0 should error")
+	}
+	kn := dataset.NewKnowledge()
+	kn.LabelObject(99, 0)
+	if _, err := Run(ds, kn, DefaultOptions(1)); err == nil {
+		t.Error("invalid knowledge should error")
+	}
+}
+
+func TestSeedingAlignsClusters(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 300, D: 8, K: 3, AvgDims: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn, err := synth.SampleKnowledge(gt, synth.KnowledgeConfig{
+		Kind: synth.ObjectsOnly, Coverage: 1, Size: 5, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(gt.Data, kn, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeding pins cluster index c to class c: check directly, without
+	// cluster matching.
+	agree := 0
+	for i, a := range res.Assignments {
+		if a == gt.Labels[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / 300; frac < 0.9 {
+		t.Errorf("cluster/class index agreement = %v", frac)
+	}
+}
+
+func TestConstrainedClampsLabels(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 200, D: 6, K: 2, AvgDims: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn := dataset.NewKnowledge()
+	// Deliberately clamp an object to the "wrong" cluster index; the
+	// constrained variant must respect it anyway.
+	obj := gt.MembersOfClass(0)[0]
+	kn.LabelObject(obj, 1)
+	opts := DefaultOptions(2)
+	opts.Constrained = true
+	res, err := Run(gt.Data, kn, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignments[obj] != 1 {
+		t.Errorf("clamped object assigned to %d", res.Assignments[obj])
+	}
+}
+
+func TestSeededBeatsRandomOnAverage(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 300, D: 10, K: 4, AvgDims: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn, err := synth.SampleKnowledge(gt, synth.KnowledgeConfig{
+		Kind: synth.ObjectsOnly, Coverage: 1, Size: 6, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seedTotal, randTotal float64
+	const runs = 5
+	for s := int64(0); s < runs; s++ {
+		opts := DefaultOptions(4)
+		opts.Seed = s
+		seeded, err := Run(gt.Data, kn, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := eval.ARI(gt.Labels, seeded.Assignments)
+		seedTotal += a
+		unseeded, err := Run(gt.Data, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ = eval.ARI(gt.Labels, unseeded.Assignments)
+		randTotal += a
+	}
+	if seedTotal < randTotal-0.2 {
+		t.Errorf("seeding hurt: seeded %v vs random %v (sum over %d runs)",
+			seedTotal, randTotal, runs)
+	}
+}
+
+func TestFullSpaceLimitOnProjectedClusters(t *testing.T) {
+	// Even seeded, full-space k-means cannot crack 5% dimensionality —
+	// the gap SSPC fills.
+	gt, err := synth.Generate(synth.Config{N: 300, D: 100, K: 4, AvgDims: 5, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn, err := synth.SampleKnowledge(gt, synth.KnowledgeConfig{
+		Kind: synth.ObjectsOnly, Coverage: 1, Size: 5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(4)
+	opts.Constrained = true
+	res, err := Run(gt.Data, kn, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, fp := eval.Filter(gt.Labels, res.Assignments, kn.LabeledObjectSet())
+	a, err := eval.ARI(ft, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a > 0.5 {
+		t.Errorf("seeded k-means ARI = %v at 5%% dims; expected poor", a)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 100, D: 5, K: 2, AvgDims: 5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(2)
+	opts.Seed = 9
+	a, err := Run(gt.Data, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(gt.Data, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != b.Score {
+		t.Error("same seed, different result")
+	}
+}

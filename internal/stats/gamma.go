@@ -1,0 +1,273 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// The regularized incomplete gamma functions underpin the chi-square CDF and
+// quantile that SSPC's probabilistic threshold scheme (parameter p, §4.1 of
+// the paper) requires. They are implemented with the classic series /
+// continued-fraction split (Numerical Recipes style) on top of math.Lgamma.
+
+const (
+	gammaEps     = 1e-14
+	gammaItMax   = 500
+	gammaFPMin   = 1e-300
+	gammaBig     = 1e300
+	invGammaIter = 100
+)
+
+// ErrNoConverge is returned when an iterative special-function evaluation
+// fails to converge; callers treat it as a programming or domain error.
+var ErrNoConverge = errors.New("stats: special function iteration did not converge")
+
+// GammaP returns the regularized lower incomplete gamma function P(a, x) =
+// γ(a,x)/Γ(a) for a > 0, x >= 0.
+func GammaP(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN(), errors.New("stats: GammaP requires a > 0 and x >= 0")
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x < a+1 {
+		p, err := gammaSeries(a, x)
+		return p, err
+	}
+	q, err := gammaContinuedFraction(a, x)
+	return 1 - q, err
+}
+
+// GammaQ returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 - P(a, x).
+func GammaQ(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN(), errors.New("stats: GammaQ requires a > 0 and x >= 0")
+	}
+	if x == 0 {
+		return 1, nil
+	}
+	if x < a+1 {
+		p, err := gammaSeries(a, x)
+		return 1 - p, err
+	}
+	return gammaContinuedFraction(a, x)
+}
+
+// gammaSeries evaluates P(a,x) by its power series, valid for x < a+1.
+func gammaSeries(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < gammaItMax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+		}
+	}
+	return math.NaN(), ErrNoConverge
+}
+
+// gammaContinuedFraction evaluates Q(a,x) by Lentz's continued fraction,
+// valid for x >= a+1.
+func gammaContinuedFraction(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := gammaBig
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaItMax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < gammaFPMin {
+			d = gammaFPMin
+		}
+		c = b + an/c
+		if math.Abs(c) < gammaFPMin {
+			c = gammaFPMin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			return math.Exp(-x+a*math.Log(x)-lg) * h, nil
+		}
+	}
+	return math.NaN(), ErrNoConverge
+}
+
+// GammaPInv returns x such that GammaP(a, x) = p, for 0 <= p < 1 and a > 0.
+// It uses the Wilson–Hilferty approximation as a starting point and refines
+// with safeguarded Newton iterations (Halley's correction, as in Numerical
+// Recipes invgammp).
+func GammaPInv(a, p float64) (float64, error) {
+	if a <= 0 || math.IsNaN(a) {
+		return math.NaN(), errors.New("stats: GammaPInv requires a > 0")
+	}
+	if p < 0 || p >= 1 || math.IsNaN(p) {
+		return math.NaN(), errors.New("stats: GammaPInv requires 0 <= p < 1")
+	}
+	if p == 0 {
+		return 0, nil
+	}
+
+	lg, _ := math.Lgamma(a)
+	a1 := a - 1
+	var lna1, afac float64
+	if a > 1 {
+		lna1 = math.Log(a1)
+		afac = math.Exp(a1*(lna1-1) - lg)
+	}
+
+	// Initial guess.
+	var x float64
+	if a > 1 {
+		// Wilson–Hilferty through the normal quantile.
+		pp := p
+		if pp >= 1 {
+			pp = 1 - 1e-16
+		}
+		t := NormQuantile(pp)
+		x = a * math.Pow(1-1/(9*a)+t/(3*math.Sqrt(a)), 3)
+		if x <= 0 {
+			x = 1e-8
+		}
+	} else {
+		t := 1 - a*(0.253+a*0.12)
+		if p < t {
+			x = math.Pow(p/t, 1/a)
+		} else {
+			x = 1 - math.Log(1-(p-t)/(1-t))
+		}
+	}
+
+	for j := 0; j < invGammaIter; j++ {
+		if x <= 0 {
+			return 0, nil
+		}
+		pj, err := GammaP(a, x)
+		if err != nil {
+			return math.NaN(), err
+		}
+		err2 := pj - p
+		var t float64
+		if a > 1 {
+			t = afac * math.Exp(-(x-a1)+a1*(math.Log(x)-lna1))
+		} else {
+			t = math.Exp(-x + a1*math.Log(x) - lg)
+		}
+		if t == 0 {
+			break
+		}
+		u := err2 / t
+		// Halley's method step.
+		t = u / (1 - 0.5*math.Min(1, u*(a1/x-1)))
+		x -= t
+		if x <= 0 {
+			x = 0.5 * (x + t)
+		}
+		if math.Abs(t) < gammaEps*x {
+			break
+		}
+	}
+	return x, nil
+}
+
+// NormCDF returns the standard normal CDF Φ(x).
+func NormCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormQuantile returns the standard normal quantile Φ⁻¹(p) using the
+// Acklam/Moro rational approximation refined by one Halley step. It panics
+// for p outside (0,1) only via returning ±Inf at the boundaries.
+func NormQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Peter Acklam's approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement through the CDF.
+	e := NormCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+// LnChoose returns ln(n choose k) for 0 <= k <= n.
+func LnChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}
+
+// Choose returns n choose k as a float64 (may overflow to +Inf for huge n).
+func Choose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	return math.Exp(LnChoose(n, k))
+}
+
+// BinomialPMF returns P(X = x) for X ~ Binomial(n, p).
+func BinomialPMF(n int, p float64, x int) float64 {
+	if x < 0 || x > n {
+		return 0
+	}
+	if p <= 0 {
+		if x == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if x == n {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(LnChoose(n, x) + float64(x)*math.Log(p) + float64(n-x)*math.Log(1-p))
+}

@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// KnowledgeKind selects which inputs a supervised class receives, matching
+// the paper's four input categories (§5.3).
+type KnowledgeKind int
+
+const (
+	// NoKnowledge supplies nothing (raw accuracy).
+	NoKnowledge KnowledgeKind = iota
+	// ObjectsOnly supplies labeled objects (Io).
+	ObjectsOnly
+	// DimsOnly supplies labeled dimensions (Iv).
+	DimsOnly
+	// ObjectsAndDims supplies both kinds.
+	ObjectsAndDims
+)
+
+func (k KnowledgeKind) String() string {
+	switch k {
+	case NoKnowledge:
+		return "none"
+	case ObjectsOnly:
+		return "objects"
+	case DimsOnly:
+		return "dims"
+	case ObjectsAndDims:
+		return "both"
+	}
+	return fmt.Sprintf("KnowledgeKind(%d)", int(k))
+}
+
+// KnowledgeConfig controls how much supervision to sample from a ground
+// truth, mirroring the paper's experiment axes: coverage (fraction of
+// classes receiving inputs), input size (labeled objects and/or dimensions
+// per covered class), and the kind of inputs.
+type KnowledgeConfig struct {
+	Kind KnowledgeKind
+	// Coverage is the fraction of the K classes that receive inputs,
+	// rounded to the nearest class count (0.6 with k=5 → 3 classes).
+	Coverage float64
+	// Size is the number of labeled objects and/or labeled dimensions per
+	// covered class.
+	Size int
+	Seed int64
+}
+
+// SampleKnowledge draws labeled objects and labeled dimensions uniformly at
+// random from the true members and relevant dimensions of the covered
+// classes, as the paper does ("inputs are drawn randomly from the real
+// cluster members and relevant dimensions", §5.3). The covered classes are
+// themselves drawn at random.
+func SampleKnowledge(gt *GroundTruth, cfg KnowledgeConfig) (*dataset.Knowledge, error) {
+	if gt == nil {
+		return nil, errors.New("synth: nil ground truth")
+	}
+	kn := dataset.NewKnowledge()
+	if cfg.Kind == NoKnowledge || cfg.Size <= 0 || cfg.Coverage <= 0 {
+		return kn, nil
+	}
+	k := gt.Config.K
+	covered := int(cfg.Coverage*float64(k) + 0.5)
+	if covered > k {
+		covered = k
+	}
+	if covered == 0 {
+		return kn, nil
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	classes := rng.Sample(k, covered)
+
+	for _, c := range classes {
+		if cfg.Kind == ObjectsOnly || cfg.Kind == ObjectsAndDims {
+			members := gt.MembersOfClass(c)
+			if len(members) == 0 {
+				return nil, fmt.Errorf("synth: class %d has no members to label", c)
+			}
+			for _, obj := range rng.SampleFrom(members, cfg.Size) {
+				kn.LabelObject(obj, c)
+			}
+		}
+		if cfg.Kind == DimsOnly || cfg.Kind == ObjectsAndDims {
+			if len(gt.Dims[c]) == 0 {
+				return nil, fmt.Errorf("synth: class %d has no relevant dims to label", c)
+			}
+			for _, dim := range rng.SampleFrom(gt.Dims[c], cfg.Size) {
+				kn.LabelDim(dim, c)
+			}
+		}
+	}
+	return kn, nil
+}

@@ -1,0 +1,81 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// MultiGroup is a dataset admitting two independent valid groupings, built
+// by concatenating the dimensions of two independently generated datasets
+// over the same objects (paper §5.4: two 1500-dimension datasets combined
+// into one 3000-dimension dataset).
+type MultiGroup struct {
+	Data *dataset.Dataset
+	// First and Second are the two ground truths. First.Dims index into
+	// [0, d1); Second's dimensions have been shifted by d1 so both Dims and
+	// knowledge sampled from Second refer to columns of the combined Data.
+	First, Second *GroundTruth
+}
+
+// GenerateMultiGroup generates two independent clusterings of the same N
+// objects and combines them column-wise. The two configs must agree on N;
+// seeds should differ or the groupings will be correlated.
+func GenerateMultiGroup(cfg1, cfg2 Config) (*MultiGroup, error) {
+	cfg1, cfg2 = cfg1.Default(), cfg2.Default()
+	if cfg1.N != cfg2.N {
+		return nil, fmt.Errorf("synth: multigroup N mismatch %d vs %d", cfg1.N, cfg2.N)
+	}
+	g1, err := Generate(cfg1)
+	if err != nil {
+		return nil, fmt.Errorf("synth: first grouping: %w", err)
+	}
+	g2, err := Generate(cfg2)
+	if err != nil {
+		return nil, fmt.Errorf("synth: second grouping: %w", err)
+	}
+	combined, err := g1.Data.AppendColumns(g2.Data)
+	if err != nil {
+		return nil, err
+	}
+
+	// Shift the second grouping's dimension bookkeeping into the combined
+	// column space so downstream code (knowledge sampling, dim-quality
+	// metrics) is oblivious to the concatenation.
+	offset := cfg1.D
+	shifted := &GroundTruth{
+		Data:   combined,
+		Labels: g2.Labels,
+		Dims:   make([][]int, len(g2.Dims)),
+		Center: make([]map[int]float64, len(g2.Center)),
+		SD:     make([]map[int]float64, len(g2.SD)),
+		Config: g2.Config,
+	}
+	shifted.Config.D = combined.D()
+	for c := range g2.Dims {
+		shifted.Dims[c] = make([]int, len(g2.Dims[c]))
+		for t, j := range g2.Dims[c] {
+			shifted.Dims[c][t] = j + offset
+		}
+		shifted.Center[c] = make(map[int]float64, len(g2.Center[c]))
+		for j, v := range g2.Center[c] {
+			shifted.Center[c][j+offset] = v
+		}
+		shifted.SD[c] = make(map[int]float64, len(g2.SD[c]))
+		for j, v := range g2.SD[c] {
+			shifted.SD[c][j+offset] = v
+		}
+	}
+
+	first := &GroundTruth{
+		Data:   combined,
+		Labels: g1.Labels,
+		Dims:   g1.Dims,
+		Center: g1.Center,
+		SD:     g1.SD,
+		Config: g1.Config,
+	}
+	first.Config.D = combined.D()
+
+	return &MultiGroup{Data: combined, First: first, Second: shifted}, nil
+}

@@ -1,0 +1,105 @@
+package sspc
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFacadeCLIQUE(t *testing.T) {
+	gt, err := Generate(SynthConfig{
+		N: 300, D: 6, K: 2, AvgDims: 3,
+		LocalSDMinFrac: 0.01, LocalSDMaxFrac: 0.03, Seed: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := CLIQUEDefaults()
+	opts.Tau = 0.08
+	subspaces, res, err := CLIQUE(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subspaces) == 0 {
+		t.Error("CLIQUE found no subspaces")
+	}
+	if err := res.Validate(300, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeBiclusters(t *testing.T) {
+	gt, err := Generate(SynthConfig{N: 60, D: 20, K: 2, AvgDims: 6, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := Biclusters(gt.Data, BiclusterDefaults(2, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 2 {
+		t.Fatalf("found %d biclusters", len(found))
+	}
+	for _, b := range found {
+		if len(b.Rows) < 2 || len(b.Cols) < 2 {
+			t.Errorf("degenerate bicluster %dx%d", len(b.Rows), len(b.Cols))
+		}
+	}
+}
+
+func TestFacadeCOPKMeans(t *testing.T) {
+	gt, err := Generate(SynthConfig{N: 150, D: 8, K: 3, AvgDims: 8, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn, err := SampleKnowledge(gt, KnowledgeConfig{Kind: ObjectsOnly, Coverage: 1, Size: 4, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := ConstraintsFromKnowledge(kn)
+	res, err := COPKMeans(gt.Data, cons, COPKMeansDefaults(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(150, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Infeasible constraints surface as ErrInfeasible through the facade.
+	bad := &Constraints{MustLink: [][2]int{{0, 1}}, CannotLink: [][2]int{{0, 1}}}
+	if _, err := COPKMeans(gt.Data, bad, COPKMeansDefaults(3)); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestFacadeKnowledgeValidation(t *testing.T) {
+	gt, err := Generate(SynthConfig{N: 150, D: 100, K: 3, AvgDims: 10, Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn, err := SampleKnowledge(gt, KnowledgeConfig{Kind: ObjectsAndDims, Coverage: 1, Size: 5, Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one label.
+	impostor := gt.MembersOfClass(1)[0]
+	kn.LabelObject(impostor, 0)
+
+	opts := DefaultOptions(3)
+	opts.Knowledge = kn
+	report, err := ValidateKnowledge(gt.Data, kn, opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Clean() {
+		t.Error("corrupted knowledge reported clean")
+	}
+	res, report2, err := ClusterValidated(gt.Data, opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report2.Clean() {
+		t.Error("ClusterValidated missed the corruption")
+	}
+	if err := res.Validate(150, 100); err != nil {
+		t.Fatal(err)
+	}
+}

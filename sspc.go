@@ -1,0 +1,178 @@
+// Package sspc is a Go implementation of SSPC — Semi-Supervised Projected
+// Clustering (Yip, Cheung, Ng — ICDE 2005) — together with the baseline
+// algorithms its evaluation compares against (PROCLUS, HARP, CLARANS, DOC /
+// FastDOC), a synthetic data generator following the paper's data model,
+// and the evaluation metrics it reports.
+//
+// SSPC discovers projected clusters whose relevant dimensions can be as few
+// as 1–5% of the total dimensionality, optionally guided by two kinds of
+// domain knowledge: labeled objects ("these samples belong to class X") and
+// labeled dimensions ("this gene is relevant to class X").
+//
+// Quick start:
+//
+//	gt, _ := sspc.Generate(sspc.SynthConfig{N: 500, D: 100, K: 4, AvgDims: 8})
+//	res, _ := sspc.Cluster(gt.Data, sspc.DefaultOptions(4))
+//	ari, _ := sspc.ARI(gt.Labels, res.Assignments)
+//
+// The subpackages under internal/ hold the implementations; this package is
+// the stable public surface.
+package sspc
+
+import (
+	"repro/internal/clarans"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/doc"
+	"repro/internal/eval"
+	"repro/internal/harp"
+	"repro/internal/proclus"
+	"repro/internal/synth"
+)
+
+// Dataset is a dense n×d matrix of objects (rows) by dimensions (columns).
+type Dataset = dataset.Dataset
+
+// Knowledge carries labeled objects and labeled dimensions (the paper's Io
+// and Iv sets).
+type Knowledge = dataset.Knowledge
+
+// Result is a clustering: assignments (−1 = outlier), per-cluster selected
+// dimensions, and the algorithm's objective score.
+type Result = cluster.Result
+
+// Outlier is the assignment value of objects on the outlier list.
+const Outlier = cluster.Outlier
+
+// NewDataset returns an n×d dataset of zeros.
+func NewDataset(n, d int) (*Dataset, error) { return dataset.New(n, d) }
+
+// FromRows builds a dataset from rows, copying the data.
+func FromRows(rows [][]float64) (*Dataset, error) { return dataset.FromRows(rows) }
+
+// NewKnowledge returns an empty knowledge set; add labels with LabelObject
+// and LabelDim.
+func NewKnowledge() *Knowledge { return dataset.NewKnowledge() }
+
+// Options configures SSPC; see DefaultOptions.
+type Options = core.Options
+
+// Threshold schemes for SSPC's dimension selection (paper §4.1).
+const (
+	SchemeM = core.SchemeM
+	SchemeP = core.SchemeP
+)
+
+// DefaultOptions returns SSPC's default configuration (threshold scheme m,
+// m = 0.5) for k clusters.
+func DefaultOptions(k int) Options { return core.DefaultOptions(k) }
+
+// Cluster runs SSPC on the dataset.
+func Cluster(ds *Dataset, opts Options) (*Result, error) { return core.Run(ds, opts) }
+
+// PROCLUSOptions configures the PROCLUS baseline; see PROCLUSDefaults.
+type PROCLUSOptions = proclus.Options
+
+// PROCLUSDefaults returns the PROCLUS defaults for k clusters with average
+// cluster dimensionality l.
+func PROCLUSDefaults(k, l int) PROCLUSOptions { return proclus.DefaultOptions(k, l) }
+
+// PROCLUS runs the PROCLUS baseline (Aggarwal et al., SIGMOD 1999).
+func PROCLUS(ds *Dataset, opts PROCLUSOptions) (*Result, error) { return proclus.Run(ds, opts) }
+
+// HARPOptions configures the HARP baseline; see HARPDefaults.
+type HARPOptions = harp.Options
+
+// HARPDefaults returns the HARP defaults for k clusters.
+func HARPDefaults(k int) HARPOptions { return harp.DefaultOptions(k) }
+
+// HARP runs the HARP baseline (Yip et al., TKDE 2004).
+func HARP(ds *Dataset, opts HARPOptions) (*Result, error) { return harp.Run(ds, opts) }
+
+// CLARANSOptions configures the CLARANS reference; see CLARANSDefaults.
+type CLARANSOptions = clarans.Options
+
+// CLARANSDefaults returns the CLARANS defaults for k clusters.
+func CLARANSDefaults(k int) CLARANSOptions { return clarans.DefaultOptions(k) }
+
+// CLARANS runs the non-projected CLARANS reference (Ng & Han, VLDB 1994).
+func CLARANS(ds *Dataset, opts CLARANSOptions) (*Result, error) { return clarans.Run(ds, opts) }
+
+// DOCOptions configures the DOC / FastDOC baseline; see DOCDefaults.
+type DOCOptions = doc.Options
+
+// DOCDefaults returns DOC defaults for k clusters and box half-width w.
+func DOCDefaults(k int, w float64) DOCOptions { return doc.DefaultOptions(k, w) }
+
+// DOC runs the Monte-Carlo DOC baseline (Procopiuc et al., SIGMOD 2002).
+// Set Options.Fast for the FastDOC heuristic.
+func DOC(ds *Dataset, opts DOCOptions) (*Result, error) { return doc.Run(ds, opts) }
+
+// ARI computes the Adjusted Rand Index in the exact form of the paper's
+// Equation 5. Outliers (−1) on either side are treated as singletons.
+func ARI(truth, pred []int) (float64, error) { return eval.ARI(truth, pred) }
+
+// ARIHubertArabie computes the standard Hubert–Arabie adjusted Rand index.
+func ARIHubertArabie(truth, pred []int) (float64, error) {
+	return eval.ARIHubertArabie(truth, pred)
+}
+
+// NMI computes normalized mutual information between two partitions.
+func NMI(truth, pred []int) (float64, error) { return eval.NMI(truth, pred) }
+
+// Purity computes weighted majority-class purity of a predicted partition.
+func Purity(truth, pred []int) (float64, error) { return eval.Purity(truth, pred) }
+
+// FilterObjects returns copies of truth and pred with the given objects
+// removed — used to exclude labeled objects from accuracy computations as
+// the paper's protocol requires.
+func FilterObjects(truth, pred []int, drop map[int]bool) ([]int, []int) {
+	return eval.Filter(truth, pred, drop)
+}
+
+// DimQuality holds precision/recall/F1 of selected dimensions.
+type DimQuality = eval.DimQuality
+
+// DimSelectionQuality scores each cluster's selected dimensions against the
+// matched class's true relevant dimensions.
+func DimSelectionQuality(truth, pred []int, predDims, trueDims [][]int) DimQuality {
+	return eval.DimSelectionQuality(truth, pred, predDims, trueDims)
+}
+
+// SynthConfig parameterizes the synthetic generator implementing the
+// paper's data model (narrow local Gaussians on relevant dimensions, wide
+// uniform global distribution elsewhere).
+type SynthConfig = synth.Config
+
+// GroundTruth is a generated dataset with its true labels, per-class
+// relevant dimensions and local Gaussian parameters.
+type GroundTruth = synth.GroundTruth
+
+// Generate builds a synthetic dataset.
+func Generate(cfg SynthConfig) (*GroundTruth, error) { return synth.Generate(cfg) }
+
+// MultiGroup is a dataset with two independent valid groupings (§5.4).
+type MultiGroup = synth.MultiGroup
+
+// GenerateMultiGroup concatenates two independent clusterings of the same
+// objects into a dataset with two possible groupings.
+func GenerateMultiGroup(cfg1, cfg2 SynthConfig) (*MultiGroup, error) {
+	return synth.GenerateMultiGroup(cfg1, cfg2)
+}
+
+// KnowledgeConfig controls how much supervision SampleKnowledge draws.
+type KnowledgeConfig = synth.KnowledgeConfig
+
+// Knowledge kinds for KnowledgeConfig.
+const (
+	NoKnowledge    = synth.NoKnowledge
+	ObjectsOnly    = synth.ObjectsOnly
+	DimsOnly       = synth.DimsOnly
+	ObjectsAndDims = synth.ObjectsAndDims
+)
+
+// SampleKnowledge draws labeled objects / dimensions from a ground truth.
+func SampleKnowledge(gt *GroundTruth, cfg KnowledgeConfig) (*Knowledge, error) {
+	return synth.SampleKnowledge(gt, cfg)
+}

@@ -1,0 +1,148 @@
+package sspc
+
+import (
+	"testing"
+)
+
+// These tests exercise the public facade end to end; algorithm-level tests
+// live next to the implementations under internal/.
+
+func TestFacadeUnsupervisedPipeline(t *testing.T) {
+	gt, err := Generate(SynthConfig{N: 300, D: 60, K: 3, AvgDims: 9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(3)
+	opts.Seed = 2
+	res, err := Cluster(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(300, 60); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ARI(gt.Labels, res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < 0.5 {
+		t.Errorf("facade SSPC ARI = %v", a)
+	}
+}
+
+func TestFacadeSupervisedPipeline(t *testing.T) {
+	gt, err := Generate(SynthConfig{N: 150, D: 800, K: 4, AvgDims: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn, err := SampleKnowledge(gt, KnowledgeConfig{Kind: ObjectsAndDims, Coverage: 1, Size: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(4)
+	opts.Knowledge = kn
+	opts.Seed = 5
+	res, err := Cluster(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, fp := FilterObjects(gt.Labels, res.Assignments, kn.LabeledObjectSet())
+	a, err := ARI(ft, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < 0.7 {
+		t.Errorf("facade supervised ARI = %v", a)
+	}
+}
+
+func TestFacadeManualKnowledge(t *testing.T) {
+	gt, err := Generate(SynthConfig{N: 120, D: 200, K: 3, AvgDims: 8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn := NewKnowledge()
+	for c := 0; c < 3; c++ {
+		for _, obj := range gt.MembersOfClass(c)[:3] {
+			kn.LabelObject(obj, c)
+		}
+		for _, dim := range gt.Dims[c][:3] {
+			kn.LabelDim(dim, c)
+		}
+	}
+	opts := DefaultOptions(3)
+	opts.Knowledge = kn
+	res, err := Cluster(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(120, 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	gt, err := Generate(SynthConfig{N: 200, D: 20, K: 3, AvgDims: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PROCLUS(gt.Data, PROCLUSDefaults(3, 8)); err != nil {
+		t.Errorf("PROCLUS: %v", err)
+	}
+	if _, err := HARP(gt.Data, HARPDefaults(3)); err != nil {
+		t.Errorf("HARP: %v", err)
+	}
+	if _, err := CLARANS(gt.Data, CLARANSDefaults(3)); err != nil {
+		t.Errorf("CLARANS: %v", err)
+	}
+	if _, err := DOC(gt.Data, DOCDefaults(3, 20)); err != nil {
+		t.Errorf("DOC: %v", err)
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	pred := []int{1, 1, 0, 0}
+	if a, err := ARI(truth, pred); err != nil || a != 1 {
+		t.Errorf("ARI = %v, %v", a, err)
+	}
+	if a, err := ARIHubertArabie(truth, pred); err != nil || a != 1 {
+		t.Errorf("HA-ARI = %v, %v", a, err)
+	}
+	if v, err := NMI(truth, pred); err != nil || v < 0.99 {
+		t.Errorf("NMI = %v, %v", v, err)
+	}
+	if p, err := Purity(truth, pred); err != nil || p != 1 {
+		t.Errorf("Purity = %v, %v", p, err)
+	}
+}
+
+func TestFacadeDatasetConstruction(t *testing.T) {
+	ds, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 || ds.D() != 2 {
+		t.Error("FromRows shape wrong")
+	}
+	z, err := NewDataset(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.At(2, 3) != 0 {
+		t.Error("NewDataset not zeroed")
+	}
+}
+
+func TestFacadeMultiGroup(t *testing.T) {
+	mg, err := GenerateMultiGroup(
+		SynthConfig{N: 80, D: 100, K: 2, AvgDims: 5, Seed: 8},
+		SynthConfig{N: 80, D: 100, K: 3, AvgDims: 5, Seed: 9},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Data.D() != 200 {
+		t.Errorf("combined d = %d", mg.Data.D())
+	}
+}
