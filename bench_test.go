@@ -1,6 +1,7 @@
 package sspc
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -112,6 +113,47 @@ func BenchmarkSSPCSupervised(b *testing.B) {
 		if _, err := Cluster(gt.Data, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkClusterParallel measures the restart engine's scaling: 8 SSPC
+// restarts on the default synthetic workload, at 1/2/4/8 workers. The
+// Result is byte-identical across the sub-benchmarks; only wall-clock time
+// changes.
+func BenchmarkClusterParallel(b *testing.B) {
+	gt := benchGroundTruth(b, 1000, 100, 5, 10)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := DefaultOptions(5)
+				opts.Seed = 42
+				opts.Restarts = 8
+				opts.Workers = workers
+				if _, err := Cluster(gt.Data, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExperimentsParallel measures harness scaling on a real figure
+// (Figure 4's parameter sweep) at 1/2/4/8 workers; the rendered table is
+// identical across the sub-benchmarks.
+func BenchmarkExperimentsParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.Config{Repeats: 2, Scale: 0.25, Seed: 1, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				t, err := experiments.Figure4(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := t.WriteTo(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -25,10 +25,11 @@ func main() {
 		repeats = flag.Int("repeats", 3, "repeated runs per configuration (paper: 10)")
 		scale   = flag.Float64("scale", 0.4, "dataset size scale (1.0 = paper)")
 		seed    = flag.Int64("seed", 1, "master random seed")
+		workers = flag.Int("workers", 0, "concurrent (algorithm × dataset × seed) cells; 0 = GOMAXPROCS. Tables are identical for every value")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Repeats: *repeats, Scale: *scale, Seed: *seed}
+	cfg := experiments.Config{Repeats: *repeats, Scale: *scale, Seed: *seed, Workers: *workers}
 
 	type figure struct {
 		id  string

@@ -48,12 +48,24 @@ func main() {
 		l         = flag.Int("l", 0, "PROCLUS average cluster dimensionality (required for proclus)")
 		w         = flag.Float64("w", 0, "DOC box half-width (required for doc)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		restarts  = flag.Int("restarts", 0, "independent randomized restarts; best result by the algorithm's objective wins. 0 = algorithm default (1; clarans: numlocal 2)")
+		workers   = flag.Int("workers", 0, "concurrent restarts; 0 = all CPUs. Never changes the result, only the wall-clock time")
 		knowledge = flag.String("knowledge", "", "knowledge file for SSPC (object/dim labels)")
 		normalize = flag.String("normalize", "none", "preprocessing: none | zscore | minmax | robust")
 		validate  = flag.Bool("validate", false, "validate knowledge and drop suspect entries before clustering (SSPC only)")
 		quiet     = flag.Bool("quiet", false, "suppress per-object assignments")
 	)
 	flag.Parse()
+
+	seedFlagSet := func() bool {
+		set := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				set = true
+			}
+		})
+		return set
+	}
 
 	if *in == "" || *k <= 0 {
 		flag.Usage()
@@ -104,6 +116,8 @@ func main() {
 			opts.M = *m
 		}
 		opts.Seed = *seed
+		opts.Restarts = *restarts
+		opts.Workers = *workers
 		if *knowledge != "" {
 			kn, err := readKnowledge(*knowledge)
 			if err != nil {
@@ -122,12 +136,27 @@ func main() {
 		}
 		opts := proclus.DefaultOptions(*k, *l)
 		opts.Seed = *seed
+		opts.Restarts = *restarts
+		opts.Workers = *workers
 		res, err = proclus.Run(ds, opts)
 	case "harp":
-		res, err = harp.Run(ds, harp.DefaultOptions(*k))
+		opts := harp.DefaultOptions(*k)
+		opts.Restarts = *restarts
+		opts.Workers = *workers
+		// With seed 0, restart 0 stays on HARP's canonical deterministic
+		// scan order and only the extra restarts draw randomized orders —
+		// so more restarts can never lose to fewer. An explicit nonzero
+		// -seed opts into the fully randomized family instead (seed 0 is
+		// the canonical family by definition).
+		if seedFlagSet() {
+			opts.Seed = *seed
+		}
+		res, err = harp.Run(ds, opts)
 	case "clarans":
 		opts := clarans.DefaultOptions(*k)
 		opts.Seed = *seed
+		opts.Restarts = *restarts
+		opts.Workers = *workers
 		res, err = clarans.Run(ds, opts)
 	case "doc":
 		if *w <= 0 {
@@ -135,6 +164,8 @@ func main() {
 		}
 		opts := doc.DefaultOptions(*k, *w)
 		opts.Seed = *seed
+		opts.Restarts = *restarts
+		opts.Workers = *workers
 		res, err = doc.Run(ds, opts)
 	default:
 		fail(fmt.Errorf("unknown algorithm %q", *algo))

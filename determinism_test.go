@@ -1,0 +1,306 @@
+package sspc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// fingerprint condenses a Result's assignments, selected dimensions, and
+// score into one comparable string.
+func fingerprint(res *Result) string {
+	h := fnv.New64a()
+	for _, a := range res.Assignments {
+		fmt.Fprintf(h, "%d,", a)
+	}
+	h.Write([]byte("|"))
+	for _, dims := range res.Dims {
+		for _, j := range dims {
+			fmt.Fprintf(h, "%d,", j)
+		}
+		h.Write([]byte(";"))
+	}
+	return fmt.Sprintf("%016x score=%.12g", h.Sum64(), res.Score)
+}
+
+// detFixture is the shared small fixture of the determinism suite.
+func detFixture(t testing.TB) *GroundTruth {
+	t.Helper()
+	gt, err := Generate(SynthConfig{N: 200, D: 30, K: 3, AvgDims: 6, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gt
+}
+
+// TestGoldenSerialEquivalence pins the exact output of the pre-engine serial
+// implementations (captured at the commit that introduced internal/engine):
+// a single restart through the engine must be byte-identical to the
+// historical serial path for the same seed, because restart 0 reuses the
+// base seed unchanged. If an intentional algorithm change breaks these,
+// re-capture the fingerprints and say so in the commit.
+func TestGoldenSerialEquivalence(t *testing.T) {
+	gt := detFixture(t)
+
+	t.Run("SSPC", func(t *testing.T) {
+		opts := DefaultOptions(3)
+		opts.Seed = 5
+		res, err := Cluster(gt.Data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const want = "5c33774cfd995ba7 score=0.176140223125"
+		if got := fingerprint(res); got != want {
+			t.Errorf("fingerprint = %s, want %s", got, want)
+		}
+	})
+	t.Run("PROCLUS", func(t *testing.T) {
+		opts := PROCLUSDefaults(3, 6)
+		opts.Seed = 7
+		res, err := PROCLUS(gt.Data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const want = "806061b7eb1d1ee0 score=4.3429625545"
+		if got := fingerprint(res); got != want {
+			t.Errorf("fingerprint = %s, want %s", got, want)
+		}
+	})
+	t.Run("CLARANS", func(t *testing.T) {
+		opts := CLARANSDefaults(3)
+		opts.NumLocal = 1 // the serial path interleaved one RNG across locals
+		opts.Seed = 9
+		res, err := CLARANS(gt.Data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const want = "18464aced1dab249 score=33501.7748117"
+		if got := fingerprint(res); got != want {
+			t.Errorf("fingerprint = %s, want %s", got, want)
+		}
+	})
+	t.Run("DOC", func(t *testing.T) {
+		opts := DOCDefaults(3, 15)
+		opts.Seed = 11
+		res, err := DOC(gt.Data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const want = "898ce57dcac9acc8 score=34.9990990861"
+		if got := fingerprint(res); got != want {
+			t.Errorf("fingerprint = %s, want %s", got, want)
+		}
+	})
+	t.Run("HARP", func(t *testing.T) {
+		res, err := HARP(gt.Data, HARPDefaults(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const want = "f1b9c1627ce202c5 score=16.5321083411"
+		if got := fingerprint(res); got != want {
+			t.Errorf("fingerprint = %s, want %s", got, want)
+		}
+	})
+}
+
+// TestWorkerCountInvariance is the engine's headline guarantee at the public
+// API: for every algorithm, a multi-restart run with Workers = 8 returns a
+// Result byte-identical to Workers = 1 under the same seed.
+func TestWorkerCountInvariance(t *testing.T) {
+	gt := detFixture(t)
+
+	runBoth := func(t *testing.T, run func(workers int) (*Result, error)) {
+		t.Helper()
+		serial, err := run(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := run(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("Workers=8 diverged from Workers=1:\n  1: %s\n  8: %s",
+				fingerprint(serial), fingerprint(parallel))
+		}
+	}
+
+	t.Run("SSPC", func(t *testing.T) {
+		runBoth(t, func(workers int) (*Result, error) {
+			opts := DefaultOptions(3)
+			opts.Seed = 3
+			opts.Restarts = 6
+			opts.Workers = workers
+			return Cluster(gt.Data, opts)
+		})
+	})
+	t.Run("PROCLUS", func(t *testing.T) {
+		runBoth(t, func(workers int) (*Result, error) {
+			opts := PROCLUSDefaults(3, 6)
+			opts.Seed = 3
+			opts.Restarts = 6
+			opts.Workers = workers
+			return PROCLUS(gt.Data, opts)
+		})
+	})
+	t.Run("CLARANS", func(t *testing.T) {
+		runBoth(t, func(workers int) (*Result, error) {
+			opts := CLARANSDefaults(3)
+			opts.Seed = 3
+			opts.Restarts = 4
+			opts.MaxNeighbor = 80
+			opts.Workers = workers
+			return CLARANS(gt.Data, opts)
+		})
+	})
+	t.Run("DOC", func(t *testing.T) {
+		runBoth(t, func(workers int) (*Result, error) {
+			opts := DOCDefaults(3, 15)
+			opts.Seed = 3
+			opts.Restarts = 4
+			opts.Workers = workers
+			return DOC(gt.Data, opts)
+		})
+	})
+	t.Run("HARP", func(t *testing.T) {
+		runBoth(t, func(workers int) (*Result, error) {
+			opts := HARPDefaults(3)
+			opts.Seed = 3
+			opts.Restarts = 4
+			opts.Workers = workers
+			return HARP(gt.Data, opts)
+		})
+	})
+}
+
+// TestSeedsProduceDifferentClusterings checks the flip side: the seed is
+// not a decoration. Two runs with different seeds must explore different
+// random choices and land on different results on a fixture noisy enough
+// that restarts genuinely disagree.
+func TestSeedsProduceDifferentClusterings(t *testing.T) {
+	gt := detFixture(t)
+	// HARP's randomized scan order only matters where merge order is
+	// contested: a noisy fixture with heavy outliers and more requested
+	// clusters than real ones.
+	noisy, err := Generate(SynthConfig{N: 120, D: 15, K: 2, AvgDims: 2, OutlierFrac: 0.3, Seed: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertDiffer := func(t *testing.T, run func(seed int64) (*Result, error)) {
+		t.Helper()
+		a, err := run(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fingerprint(a) == fingerprint(b) {
+			t.Errorf("seeds 1 and 2 produced identical results: %s", fingerprint(a))
+		}
+	}
+
+	t.Run("SSPC", func(t *testing.T) {
+		assertDiffer(t, func(seed int64) (*Result, error) {
+			opts := DefaultOptions(3)
+			opts.Seed = seed
+			return Cluster(gt.Data, opts)
+		})
+	})
+	t.Run("PROCLUS", func(t *testing.T) {
+		// On the clean fixture PROCLUS converges to the same medoid
+		// structure from any seed; the noisy fixture keeps the random
+		// piercing sample decisive.
+		assertDiffer(t, func(seed int64) (*Result, error) {
+			opts := PROCLUSDefaults(4, 3)
+			opts.Seed = seed
+			return PROCLUS(noisy.Data, opts)
+		})
+	})
+	t.Run("CLARANS", func(t *testing.T) {
+		assertDiffer(t, func(seed int64) (*Result, error) {
+			opts := CLARANSDefaults(3)
+			opts.Seed = seed
+			opts.MaxNeighbor = 80
+			return CLARANS(gt.Data, opts)
+		})
+	})
+	t.Run("DOC", func(t *testing.T) {
+		assertDiffer(t, func(seed int64) (*Result, error) {
+			opts := DOCDefaults(3, 15)
+			opts.Seed = seed
+			return DOC(gt.Data, opts)
+		})
+	})
+	t.Run("HARP", func(t *testing.T) {
+		assertDiffer(t, func(seed int64) (*Result, error) {
+			opts := HARPDefaults(6)
+			opts.Seed = seed
+			return HARP(noisy.Data, opts)
+		})
+	})
+}
+
+// TestConcurrentClusterSharedDataset races all five algorithms against each
+// other on one shared *Dataset (run under -race in CI): datasets must be
+// safe for concurrent readers, including the lazily computed column
+// statistics.
+func TestConcurrentClusterSharedDataset(t *testing.T) {
+	gt := detFixture(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		seed := int64(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := DefaultOptions(3)
+			opts.Seed = seed
+			opts.Restarts = 2
+			if _, err := Cluster(gt.Data, opts); err != nil {
+				t.Errorf("SSPC: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := PROCLUSDefaults(3, 6)
+			opts.Seed = seed
+			if _, err := PROCLUS(gt.Data, opts); err != nil {
+				t.Errorf("PROCLUS: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := CLARANSDefaults(3)
+			opts.Seed = seed
+			opts.MaxNeighbor = 40
+			if _, err := CLARANS(gt.Data, opts); err != nil {
+				t.Errorf("CLARANS: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := DOCDefaults(3, 15)
+			opts.Seed = seed
+			if _, err := DOC(gt.Data, opts); err != nil {
+				t.Errorf("DOC: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := HARPDefaults(3)
+			opts.Seed = seed
+			if _, err := HARP(gt.Data, opts); err != nil {
+				t.Errorf("HARP: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -6,12 +6,14 @@
 package clarans
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -26,12 +28,32 @@ type Options struct {
 	NumLocal    int
 	MaxNeighbor int
 	Seed        int64
+
+	// Restarts, when > 0, overrides NumLocal — it is the same knob under
+	// the name every other package in this repository uses. Each restart
+	// (local search) derives its RNG from engine.ChildSeed(Seed, r).
+	Restarts int
+
+	// Workers bounds how many local searches run concurrently; <= 0 means
+	// runtime.GOMAXPROCS(0). The worker count never changes the result.
+	Workers int
 }
 
 // DefaultOptions returns the paper's recommended parameters.
 func DefaultOptions(k int) Options { return Options{K: k, NumLocal: 2} }
 
-// Run executes CLARANS with full-dimensional Euclidean distance.
+// localOptimum is the outcome of one randomized local search.
+type localOptimum struct {
+	medoids    []int
+	cost       float64
+	iterations int
+}
+
+// Run executes CLARANS with full-dimensional Euclidean distance. The
+// NumLocal (or Restarts) local searches run concurrently on up to Workers
+// goroutines through the restart engine; the lowest-cost local optimum wins,
+// with ties going to the lowest restart index, so the result is a pure
+// function of (ds, opts) regardless of the worker count.
 func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if ds == nil {
 		return nil, errors.New("clarans: nil dataset")
@@ -40,8 +62,12 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if opts.K <= 0 || opts.K > n {
 		return nil, fmt.Errorf("clarans: K = %d out of range", opts.K)
 	}
-	if opts.NumLocal <= 0 {
-		opts.NumLocal = 2
+	numLocal := opts.NumLocal
+	if opts.Restarts > 0 {
+		numLocal = opts.Restarts
+	}
+	if numLocal <= 0 {
+		numLocal = 2
 	}
 	if opts.MaxNeighbor <= 0 {
 		opts.MaxNeighbor = int(0.0125 * float64(opts.K) * float64(n-opts.K))
@@ -49,48 +75,28 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 			opts.MaxNeighbor = 250
 		}
 	}
-	rng := stats.NewRNG(opts.Seed)
 
-	bestCost := math.Inf(1)
-	var bestMedoids []int
+	locals, err := engine.Run(context.Background(), numLocal, opts.Workers, opts.Seed,
+		func(_ int, rng *stats.RNG) (localOptimum, error) {
+			return localSearch(ds, opts, rng), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	best := locals[engine.Best(locals, func(a, b localOptimum) bool {
+		return a.cost < b.cost
+	})]
 	iterations := 0
-
-	for local := 0; local < opts.NumLocal; local++ {
-		medoids := rng.Sample(n, opts.K)
-		cost := totalCost(ds, medoids)
-		tries := 0
-		for tries < opts.MaxNeighbor {
-			iterations++
-			// Random neighbor: replace one random medoid with one random
-			// non-medoid.
-			mi := rng.Intn(opts.K)
-			candidate := rng.Intn(n)
-			if containsInt(medoids, candidate) {
-				continue
-			}
-			old := medoids[mi]
-			medoids[mi] = candidate
-			newCost := totalCost(ds, medoids)
-			if newCost < cost {
-				cost = newCost
-				tries = 0
-			} else {
-				medoids[mi] = old
-				tries++
-			}
-		}
-		if cost < bestCost {
-			bestCost = cost
-			bestMedoids = append(bestMedoids[:0], medoids...)
-		}
+	for _, l := range locals {
+		iterations += l.iterations
 	}
 
 	assign := make([]int, n)
 	for p := 0; p < n; p++ {
-		best := math.Inf(1)
-		for i, m := range bestMedoids {
-			if d := ds.EuclideanSq(p, m, nil); d < best {
-				best = d
+		bestDist := math.Inf(1)
+		for i, m := range best.medoids {
+			if d := ds.EuclideanSq(p, m, nil); d < bestDist {
+				bestDist = d
 				assign[p] = i
 			}
 		}
@@ -98,7 +104,7 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	res := &cluster.Result{
 		K:                   opts.K,
 		Assignments:         assign,
-		Score:               bestCost,
+		Score:               best.cost,
 		ScoreHigherIsBetter: false,
 		Iterations:          iterations,
 	}
@@ -106,6 +112,38 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 		return nil, fmt.Errorf("clarans: internal result invalid: %w", err)
 	}
 	return res, nil
+}
+
+// localSearch runs one local search: from a random medoid set, try random
+// single-medoid swaps until MaxNeighbor consecutive swaps fail to improve
+// the cost.
+func localSearch(ds *dataset.Dataset, opts Options, rng *stats.RNG) localOptimum {
+	n := ds.N()
+	medoids := rng.Sample(n, opts.K)
+	cost := totalCost(ds, medoids)
+	tries := 0
+	iterations := 0
+	for tries < opts.MaxNeighbor {
+		iterations++
+		// Random neighbor: replace one random medoid with one random
+		// non-medoid.
+		mi := rng.Intn(opts.K)
+		candidate := rng.Intn(n)
+		if containsInt(medoids, candidate) {
+			continue
+		}
+		old := medoids[mi]
+		medoids[mi] = candidate
+		newCost := totalCost(ds, medoids)
+		if newCost < cost {
+			cost = newCost
+			tries = 0
+		} else {
+			medoids[mi] = old
+			tries++
+		}
+	}
+	return localOptimum{medoids: medoids, cost: cost, iterations: iterations}
 }
 
 // totalCost is the sum over objects of the distance to the nearest medoid.

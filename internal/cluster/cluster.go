@@ -74,6 +74,29 @@ func (r *Result) Better(a, b float64) bool {
 	return a < b
 }
 
+// BestResult reduces a slice of per-restart results to the winner: the one
+// with the best Score under its own score direction, ties keeping the
+// lowest index so the reduction is deterministic. The winner's Iterations
+// is overwritten with the total across all results, counting the full work
+// performed. It returns nil for an empty slice.
+func BestResult(results []*Result) *Result {
+	if len(results) == 0 {
+		return nil
+	}
+	best := results[0]
+	total := 0
+	for _, r := range results[1:] {
+		if r.Better(r.Score, best.Score) {
+			best = r
+		}
+	}
+	for _, r := range results {
+		total += r.Iterations
+	}
+	best.Iterations = total
+	return best
+}
+
 // Validate checks structural invariants: assignment bounds, dims bounds and
 // sortedness. n and d give the dataset shape.
 func (r *Result) Validate(n, d int) error {

@@ -64,3 +64,28 @@ func TestAvgDimensionality(t *testing.T) {
 		t.Errorf("empty AvgDimensionality = %v", got)
 	}
 }
+
+func TestBestResult(t *testing.T) {
+	if BestResult(nil) != nil {
+		t.Error("BestResult(nil) != nil")
+	}
+
+	higher := func(score float64, iters int) *Result {
+		return &Result{K: 1, Score: score, ScoreHigherIsBetter: true, Iterations: iters}
+	}
+	rs := []*Result{higher(1, 10), higher(3, 20), higher(3, 30), higher(2, 40)}
+	best := BestResult(rs)
+	if best != rs[1] {
+		t.Errorf("picked score %v, want the first of the tied maxima", best.Score)
+	}
+	if best.Iterations != 100 {
+		t.Errorf("Iterations = %d, want the 100 summed across restarts", best.Iterations)
+	}
+
+	lower := func(score float64) *Result {
+		return &Result{K: 1, Score: score, ScoreHigherIsBetter: false}
+	}
+	if got := BestResult([]*Result{lower(5), lower(2), lower(7)}); got.Score != 2 {
+		t.Errorf("lower-is-better picked %v, want 2", got.Score)
+	}
+}

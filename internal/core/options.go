@@ -108,6 +108,18 @@ type Options struct {
 	// Seed drives all randomized choices.
 	Seed int64
 
+	// Restarts is the number of independent randomized restarts of the main
+	// loop; the result with the best objective φ is returned (ties go to the
+	// lowest restart index). <= 0 means 1. Restart r draws every random
+	// choice from a splitmix-derived child seed of Seed, so results are a
+	// pure function of (Options, Dataset) regardless of Workers.
+	Restarts int
+
+	// Workers bounds how many restarts run concurrently; <= 0 means
+	// runtime.GOMAXPROCS(0). The worker count never changes the result,
+	// only the wall-clock time.
+	Workers int
+
 	// Trace optionally observes initialization and every iteration; nil
 	// (the default) costs nothing.
 	Trace *Trace
@@ -175,6 +187,9 @@ func (o Options) normalized(ds *dataset.Dataset) (Options, error) {
 	}
 	if o.MaxIterations <= 0 {
 		o.MaxIterations = 60
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
 	}
 	if err := o.Knowledge.Validate(ds.N(), ds.D(), o.K); err != nil {
 		return o, err

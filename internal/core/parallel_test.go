@@ -1,0 +1,117 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestParallelRestartsMatchSerial pins the package-level determinism
+// contract: Workers only changes wall-clock time, never the Result.
+func TestParallelRestartsMatchSerial(t *testing.T) {
+	gt := generate(t, synth.Config{N: 150, D: 20, K: 3, AvgDims: 5, Seed: 60})
+	run := func(workers int) Options {
+		opts := DefaultOptions(3)
+		opts.Seed = 7
+		opts.Restarts = 5
+		opts.Workers = workers
+		return opts
+	}
+	serial := runSSPC(t, gt, run(1))
+	parallel := runSSPC(t, gt, run(8))
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("Workers=8 produced a different Result than Workers=1")
+	}
+}
+
+// TestRestartsImproveOrKeepScore checks the best-of-restarts reduction:
+// more restarts can only raise the best objective under a fixed seed split.
+func TestRestartsImproveOrKeepScore(t *testing.T) {
+	gt := generate(t, synth.Config{N: 200, D: 30, K: 3, AvgDims: 6, Seed: 61})
+	opts := DefaultOptions(3)
+	opts.Seed = 2
+	opts.Restarts = 1
+	single := runSSPC(t, gt, opts)
+	opts.Restarts = 6
+	multi := runSSPC(t, gt, opts)
+	if multi.Score < single.Score {
+		t.Fatalf("best of 6 restarts (%v) worse than restart 0 alone (%v)", multi.Score, single.Score)
+	}
+}
+
+// TestConcurrentRunsSharedDataset races several full Run calls on one
+// Dataset; meaningful under -race.
+func TestConcurrentRunsSharedDataset(t *testing.T) {
+	gt := generate(t, synth.Config{N: 150, D: 20, K: 3, AvgDims: 5, Seed: 62})
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		seed := int64(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := DefaultOptions(3)
+			opts.Seed = seed
+			opts.Restarts = 2
+			if _, err := Run(gt.Data, opts); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestTraceUnderParallelRestarts drives one Trace from concurrently running
+// restarts: callbacks must be serialized (no race on the callback state) and
+// every restart's full trajectory must be observed.
+func TestTraceUnderParallelRestarts(t *testing.T) {
+	gt := generate(t, synth.Config{N: 150, D: 20, K: 3, AvgDims: 5, Seed: 63})
+	const restarts = 5
+	inits := 0
+	seenInitRestarts := make(map[int]int)
+	perRestart := make(map[int][]IterationStats)
+	opts := DefaultOptions(3)
+	opts.Seed = 4
+	opts.Restarts = restarts
+	opts.Workers = 8
+	opts.Trace = &Trace{
+		OnInit: func(r int, _ []SeedGroupInfo) { seenInitRestarts[r]++; inits++ },
+		OnIteration: func(s IterationStats) {
+			perRestart[s.Restart] = append(perRestart[s.Restart], s)
+		},
+	}
+	res := runSSPC(t, gt, opts)
+
+	if inits != restarts {
+		t.Errorf("OnInit called %d times, want once per restart (%d)", inits, restarts)
+	}
+	for r := 0; r < restarts; r++ {
+		if seenInitRestarts[r] != 1 {
+			t.Errorf("OnInit saw restart %d %d times, want 1", r, seenInitRestarts[r])
+		}
+	}
+	if len(perRestart) != restarts {
+		t.Fatalf("observed %d restarts, want %d", len(perRestart), restarts)
+	}
+	total := 0
+	for r, iters := range perRestart {
+		if r < 0 || r >= restarts {
+			t.Fatalf("iteration reported restart %d, want [0,%d)", r, restarts)
+		}
+		total += len(iters)
+		// Within one restart the iterations arrive in order and the best
+		// score never decreases.
+		for i, s := range iters {
+			if s.Iteration != i+1 {
+				t.Fatalf("restart %d: iteration %d arrived at position %d", r, s.Iteration, i)
+			}
+			if i > 0 && s.BestScore < iters[i-1].BestScore {
+				t.Fatalf("restart %d: best score decreased", r)
+			}
+		}
+	}
+	if total != res.Iterations {
+		t.Errorf("trace observed %d iterations, Result.Iterations = %d", total, res.Iterations)
+	}
+}

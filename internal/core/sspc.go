@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -20,20 +22,37 @@ type state struct {
 }
 
 // Run executes SSPC (Listing 2 of the paper) on the dataset and returns the
-// best clustering found.
+// best clustering found across Options.Restarts independent restarts, run
+// concurrently on up to Options.Workers goroutines through the restart
+// engine. The result is a pure function of (ds, opts): restart r always
+// draws from engine.ChildSeed(opts.Seed, r), results are reduced in restart
+// order, and ties on φ keep the lowest restart.
 func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	opts, err := opts.normalized(ds)
 	if err != nil {
 		return nil, err
 	}
-	rng := stats.NewRNG(opts.Seed)
+	results, err := engine.Run(context.Background(), opts.Restarts, opts.Workers, opts.Seed,
+		func(restart int, rng *stats.RNG) (*cluster.Result, error) {
+			return runOnce(ds, opts, restart, rng)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return cluster.BestResult(results), nil
+}
+
+// runOnce executes one restart of the SSPC main loop with its own RNG.
+// Everything it touches is restart-local except the read-only dataset and
+// the (internally synchronized) trace.
+func runOnce(ds *dataset.Dataset, opts Options, restart int, rng *stats.RNG) (*cluster.Result, error) {
 	thr := newThresholds(ds, opts)
 
 	private, public, err := initialize(ds, opts, thr, rng)
 	if err != nil {
 		return nil, err
 	}
-	opts.Trace.emitInit(private, public)
+	opts.Trace.emitInit(restart, private, public)
 
 	n, d := ds.N(), ds.D()
 	clusters := make([]*state, opts.K)
@@ -145,7 +164,7 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 		// medoid; every other cluster's representative becomes its median
 		// (or mean, under the ablation).
 		bad := detectBadCluster(ds, clusters)
-		opts.Trace.emitIteration(iterations, score, bestScore, improved, clusters, bestAssign, bad)
+		opts.Trace.emitIteration(restart, iterations, score, bestScore, improved, clusters, bestAssign, bad)
 		for i, st := range clusters {
 			st.prevSize = maxInt(2, len(st.members))
 			if i == bad {

@@ -1,5 +1,7 @@
 package core
 
+import "sync"
+
 // Trace lets callers observe the main loop: one IterationStats per
 // iteration, plus the seed-group summary from initialization. It exists for
 // debugging, teaching, and the convergence tests — production runs leave
@@ -7,7 +9,11 @@ package core
 
 // IterationStats summarizes one iteration of the SSPC main loop.
 type IterationStats struct {
-	// Iteration is 1-based.
+	// Restart is the 0-based restart this iteration belongs to. Iterations
+	// of concurrent restarts interleave; group by Restart to reconstruct
+	// each restart's trajectory.
+	Restart int
+	// Iteration is 1-based within its restart.
 	Iteration int
 	// Score is the overall φ of this iteration's clustering.
 	Score float64
@@ -35,16 +41,22 @@ type SeedGroupInfo struct {
 }
 
 // Trace receives observer callbacks from Run. Either hook may be nil.
+// Callbacks are serialized by an internal mutex, so one Trace can observe
+// concurrent restarts without its own locking; use IterationStats.Restart
+// to demultiplex them.
 type Trace struct {
-	// OnInit is called once after initialization.
-	OnInit func(groups []SeedGroupInfo)
-	// OnIteration is called after every iteration. The stats value is
-	// owned by the callback (slices are fresh copies).
+	// OnInit is called once per restart, after that restart's
+	// initialization; restart tells concurrent restarts apart.
+	OnInit func(restart int, groups []SeedGroupInfo)
+	// OnIteration is called after every iteration of every restart. The
+	// stats value is owned by the callback (slices are fresh copies).
 	OnIteration func(IterationStats)
+
+	mu sync.Mutex
 }
 
-// emitInit reports the created seed groups.
-func (t *Trace) emitInit(private map[int]*seedGroup, public []*seedGroup) {
+// emitInit reports the created seed groups of one restart.
+func (t *Trace) emitInit(restart int, private map[int]*seedGroup, public []*seedGroup) {
 	if t == nil || t.OnInit == nil {
 		return
 	}
@@ -61,7 +73,9 @@ func (t *Trace) emitInit(private map[int]*seedGroup, public []*seedGroup) {
 			infos[j], infos[j-1] = infos[j-1], infos[j]
 		}
 	}
-	t.OnInit(infos)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.OnInit(restart, infos)
 }
 
 func less(a, b SeedGroupInfo) bool {
@@ -76,12 +90,13 @@ func less(a, b SeedGroupInfo) bool {
 }
 
 // emitIteration reports one iteration.
-func (t *Trace) emitIteration(iter int, score, best float64, improved bool,
+func (t *Trace) emitIteration(restart, iter int, score, best float64, improved bool,
 	clusters []*state, assign []int, bad int) {
 	if t == nil || t.OnIteration == nil {
 		return
 	}
 	stats := IterationStats{
+		Restart:      restart,
 		Iteration:    iter,
 		Score:        score,
 		BestScore:    best,
@@ -99,5 +114,7 @@ func (t *Trace) emitIteration(iter int, score, best float64, improved bool,
 			stats.Outliers++
 		}
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.OnIteration(stats)
 }

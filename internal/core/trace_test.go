@@ -13,7 +13,7 @@ func TestTraceObservesIterations(t *testing.T) {
 	opts := DefaultOptions(3)
 	opts.Seed = 1
 	opts.Trace = &Trace{
-		OnInit:      func(g []SeedGroupInfo) { initGroups = g },
+		OnInit:      func(_ int, g []SeedGroupInfo) { initGroups = g },
 		OnIteration: func(s IterationStats) { iters = append(iters, s) },
 	}
 	res := runSSPC(t, gt, opts)
@@ -66,7 +66,7 @@ func TestTracePrivateGroupsSortedFirst(t *testing.T) {
 	var initGroups []SeedGroupInfo
 	opts := DefaultOptions(3)
 	opts.Knowledge = kn
-	opts.Trace = &Trace{OnInit: func(g []SeedGroupInfo) { initGroups = g }}
+	opts.Trace = &Trace{OnInit: func(_ int, g []SeedGroupInfo) { initGroups = g }}
 	runSSPC(t, gt, opts)
 	if len(initGroups) < 3 {
 		t.Fatalf("expected >= 3 groups, got %d", len(initGroups))

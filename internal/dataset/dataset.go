@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/stats"
 )
@@ -15,18 +16,24 @@ import (
 // Dataset is an n×d matrix of float64 values stored row-major. Objects are
 // rows; dimensions are columns. The zero value is unusable: construct with
 // New or FromRows.
+//
+// A Dataset is safe for concurrent readers (the parallel restart engine
+// shares one Dataset across all workers); Set must not race with readers.
 type Dataset struct {
 	n, d int
 	data []float64 // row-major, len n*d
 
-	// Lazily computed per-dimension statistics over all n objects. These
-	// approximate the paper's global populations: colVar[j] is s²_j, the
-	// baseline for the selection thresholds ŝ²_ij.
-	statsReady bool
-	colMean    []float64
-	colVar     []float64
-	colMin     []float64
-	colMax     []float64
+	// Lazily computed per-dimension statistics over all n objects, published
+	// as one immutable snapshot so concurrent readers never observe a
+	// half-built cache. These approximate the paper's global populations:
+	// colStats.vr[j] is s²_j, the baseline for the selection thresholds
+	// ŝ²_ij.
+	stats atomic.Pointer[colStats]
+}
+
+// colStats is an immutable per-column statistics snapshot.
+type colStats struct {
+	mean, vr, mn, mx []float64
 }
 
 // New returns an n×d dataset of zeros.
@@ -72,10 +79,11 @@ func (ds *Dataset) D() int { return ds.d }
 func (ds *Dataset) At(i, j int) float64 { return ds.data[i*ds.d+j] }
 
 // Set assigns the value of object i on dimension j and invalidates the
-// cached column statistics.
+// cached column statistics. Set must not be called while other goroutines
+// read the dataset (mutate first, then cluster).
 func (ds *Dataset) Set(i, j int, v float64) {
 	ds.data[i*ds.d+j] = v
-	ds.statsReady = false
+	ds.stats.Store(nil)
 }
 
 // Row returns object i's values as a slice sharing the dataset's storage.
@@ -103,10 +111,13 @@ func (ds *Dataset) ColInto(j int, dst []float64) []float64 {
 	return dst
 }
 
-// ensureStats computes per-column mean/variance/min/max in one pass.
-func (ds *Dataset) ensureStats() {
-	if ds.statsReady {
-		return
+// ensureStats returns the per-column mean/variance/min/max snapshot,
+// computing it in one pass on first use. Concurrent first calls may compute
+// it redundantly; the computation is deterministic, so whichever snapshot
+// wins the publish is indistinguishable from the others.
+func (ds *Dataset) ensureStats() *colStats {
+	if st := ds.stats.Load(); st != nil {
+		return st
 	}
 	d := ds.d
 	mean := make([]float64, d)
@@ -139,27 +150,28 @@ func (ds *Dataset) ensureStats() {
 			vr[j] = m2[j] / float64(ds.n-1)
 		}
 	}
-	ds.colMean, ds.colVar, ds.colMin, ds.colMax = mean, vr, mn, mx
-	ds.statsReady = true
+	st := &colStats{mean: mean, vr: vr, mn: mn, mx: mx}
+	ds.stats.Store(st)
+	return st
 }
 
 // ColMean returns the mean of dimension j over all objects.
-func (ds *Dataset) ColMean(j int) float64 { ds.ensureStats(); return ds.colMean[j] }
+func (ds *Dataset) ColMean(j int) float64 { return ds.ensureStats().mean[j] }
 
 // ColVariance returns the unbiased sample variance s²_j of dimension j over
 // all objects — the paper's estimate of the global population variance σ²_j.
-func (ds *Dataset) ColVariance(j int) float64 { ds.ensureStats(); return ds.colVar[j] }
+func (ds *Dataset) ColVariance(j int) float64 { return ds.ensureStats().vr[j] }
 
 // ColMin returns the minimum of dimension j.
-func (ds *Dataset) ColMin(j int) float64 { ds.ensureStats(); return ds.colMin[j] }
+func (ds *Dataset) ColMin(j int) float64 { return ds.ensureStats().mn[j] }
 
 // ColMax returns the maximum of dimension j.
-func (ds *Dataset) ColMax(j int) float64 { ds.ensureStats(); return ds.colMax[j] }
+func (ds *Dataset) ColMax(j int) float64 { return ds.ensureStats().mx[j] }
 
 // ColRange returns max−min of dimension j.
 func (ds *Dataset) ColRange(j int) float64 {
-	ds.ensureStats()
-	return ds.colMax[j] - ds.colMin[j]
+	st := ds.ensureStats()
+	return st.mx[j] - st.mn[j]
 }
 
 // SubsetMedian returns the median projection of the given objects on

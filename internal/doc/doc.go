@@ -8,6 +8,7 @@
 package doc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -37,6 +39,16 @@ type Options struct {
 	// |D| (the dimension count), and the best box is computed once.
 	Fast bool
 	Seed int64
+
+	// Restarts is the number of independent Monte-Carlo runs; the result
+	// with the highest total µ score is returned (ties keep the lowest
+	// restart index). <= 0 means 1. Restart r derives its RNG from
+	// engine.ChildSeed(Seed, r).
+	Restarts int
+
+	// Workers bounds how many restarts run concurrently; <= 0 means
+	// runtime.GOMAXPROCS(0). The worker count never changes the result.
+	Workers int
 }
 
 // DefaultOptions returns a practical configuration: w = 15% of the value
@@ -46,13 +58,15 @@ func DefaultOptions(k int, w float64) Options {
 }
 
 // Run extracts K projected clusters one after another; points not captured
-// by any box end up as outliers.
+// by any box end up as outliers. Options.Restarts independent Monte-Carlo
+// runs execute concurrently on up to Options.Workers goroutines through the
+// restart engine and the highest-scoring run wins, so the result is a pure
+// function of (ds, opts) regardless of the worker count.
 func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if ds == nil {
 		return nil, errors.New("doc: nil dataset")
 	}
-	n, d := ds.N(), ds.D()
-	if opts.K <= 0 || opts.K > n {
+	if opts.K <= 0 || opts.K > ds.N() {
 		return nil, fmt.Errorf("doc: K = %d out of range", opts.K)
 	}
 	if opts.W <= 0 {
@@ -64,7 +78,23 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if opts.Beta <= 0 || opts.Beta > 0.5 {
 		return nil, fmt.Errorf("doc: Beta = %v out of (0,0.5]", opts.Beta)
 	}
-	rng := stats.NewRNG(opts.Seed)
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	results, err := engine.Run(context.Background(), restarts, opts.Workers, opts.Seed,
+		func(_ int, rng *stats.RNG) (*cluster.Result, error) {
+			return runOnce(ds, opts, rng)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return cluster.BestResult(results), nil
+}
+
+// runOnce executes one Monte-Carlo DOC run with its own RNG.
+func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG) (*cluster.Result, error) {
+	n, d := ds.N(), ds.D()
 
 	// Discriminating set size r = ceil(log(2d)/log(1/2β)).
 	r := int(math.Ceil(math.Log(2*float64(d)) / math.Log(1/(2*opts.Beta))))

@@ -1,0 +1,86 @@
+package doc
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func docFixture(t *testing.T, seed int64) *synth.GroundTruth {
+	t.Helper()
+	gt, err := synth.Generate(synth.Config{
+		N: 120, D: 12, K: 2, AvgDims: 4,
+		LocalSDMinFrac: 0.01, LocalSDMaxFrac: 0.03, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gt
+}
+
+// TestParallelRestartsMatchSerial pins the determinism contract: the worker
+// count never changes which Monte-Carlo run wins.
+func TestParallelRestartsMatchSerial(t *testing.T) {
+	gt := docFixture(t, 80)
+	run := func(workers int) Options {
+		opts := DefaultOptions(2, 15)
+		opts.Seed = 5
+		opts.Restarts = 4
+		opts.Workers = workers
+		return opts
+	}
+	serial, err := Run(gt.Data, run(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(gt.Data, run(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("Workers=8 produced a different Result than Workers=1")
+	}
+}
+
+// TestRestartsImproveOrKeepScore checks the best-of reduction direction:
+// DOC maximizes µ, so more restarts can only raise the best total score.
+func TestRestartsImproveOrKeepScore(t *testing.T) {
+	gt := docFixture(t, 81)
+	opts := DefaultOptions(2, 15)
+	opts.Seed = 2
+	single, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Restarts = 5
+	multi, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Score < single.Score {
+		t.Fatalf("best of 5 restarts (%v) worse than restart 0 alone (%v)", multi.Score, single.Score)
+	}
+}
+
+// TestConcurrentRunsSharedDataset races full Run calls on one Dataset;
+// meaningful under -race.
+func TestConcurrentRunsSharedDataset(t *testing.T) {
+	gt := docFixture(t, 82)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		seed := int64(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := DefaultOptions(2, 15)
+			opts.Seed = seed
+			opts.Restarts = 2
+			if _, err := Run(gt.Data, opts); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,158 @@
+// Package engine runs the randomized restarts every algorithm in this
+// repository is built on (SSPC's medoid restarts, PROCLUS and DOC trials,
+// CLARANS local searches, the experiment harness's best-of-N protocol)
+// across a bounded worker pool.
+//
+// The engine is race-safe by construction: restart r always draws from its
+// own RNG seeded with ChildSeed(seed, r), results are collected into a slice
+// indexed by restart, and reductions happen after all restarts finish. A run
+// with Workers = N is therefore byte-identical to a run with Workers = 1 —
+// parallelism changes wall-clock time, never output.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// DefaultWorkers resolves a Workers option: values <= 0 mean "one worker per
+// available CPU" (runtime.GOMAXPROCS(0)).
+func DefaultWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// splitmix64 constants (Steele, Lea, Flood — "Fast splittable pseudorandom
+// number generators", OOPSLA 2014). The gamma is the golden ratio in 64-bit
+// fixed point; the two multipliers are the finalization mix.
+const (
+	splitmixGamma = 0x9E3779B97F4A7C15
+	splitmixMixA  = 0xBF58476D1CE4E5B9
+	splitmixMixB  = 0x94D049BB133111EB
+)
+
+// ChildSeed derives the deterministic seed of restart r from a base seed
+// using a splitmix64-style finalizer, so sibling restarts get decorrelated
+// streams without sharing any RNG state. Restart 0 reuses the base seed
+// unchanged: a single-restart run is byte-identical to the historical serial
+// path that seeded its RNG with Options.Seed directly.
+func ChildSeed(base int64, restart int) int64 {
+	if restart == 0 {
+		return base
+	}
+	z := uint64(base) + uint64(restart)*splitmixGamma
+	z ^= z >> 30
+	z *= splitmixMixA
+	z ^= z >> 27
+	z *= splitmixMixB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Run executes fn for restarts 0..n-1 across at most `workers` goroutines
+// (<= 0 means GOMAXPROCS) and returns the per-restart results in restart
+// order. Each invocation receives a fresh RNG seeded with
+// ChildSeed(seed, restart), so the result slice does not depend on the
+// worker count or on scheduling.
+//
+// The first failing restart cancels the remaining ones; the error reported
+// is the recorded failure with the lowest restart index, wrapped with that
+// index. A canceled ctx stops the run and returns ctx's error.
+func Run[R any](ctx context.Context, n, workers int, seed int64, fn func(restart int, rng *stats.RNG) (R, error)) ([]R, error) {
+	if fn == nil {
+		return nil, errors.New("engine: nil restart function")
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = DefaultWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	results := make([]R, n)
+
+	if workers == 1 {
+		for r := 0; r < n; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res, err := fn(r, stats.NewRNG(ChildSeed(seed, r)))
+			if err != nil {
+				return nil, fmt.Errorf("engine: restart %d: %w", r, err)
+			}
+			results[r] = res
+		}
+		return results, nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var skipped atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				r := int(next.Add(1)) - 1
+				if r >= n {
+					return
+				}
+				if runCtx.Err() != nil {
+					skipped.Store(true)
+					return
+				}
+				res, err := fn(r, stats.NewRNG(ChildSeed(seed, r)))
+				if err != nil {
+					errs[r] = err
+					cancel()
+					return
+				}
+				results[r] = res
+			}
+		}()
+	}
+	wg.Wait()
+
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: restart %d: %w", r, err)
+		}
+	}
+	if skipped.Load() {
+		// No restart failed but some never ran: the parent ctx was canceled.
+		return nil, ctx.Err()
+	}
+	return results, nil
+}
+
+// Best returns the index of the best element under the strict `better`
+// predicate. Ties keep the lowest index, so the selection is deterministic
+// and independent of how the results were produced. It returns -1 for an
+// empty slice.
+func Best[R any](results []R, better func(a, b R) bool) int {
+	if len(results) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(results); i++ {
+		if better(results[i], results[best]) {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestChildSeedRestartZeroIsBase(t *testing.T) {
+	for _, base := range []int64{0, 1, -7, 1 << 40} {
+		if got := ChildSeed(base, 0); got != base {
+			t.Errorf("ChildSeed(%d, 0) = %d, want the base seed", base, got)
+		}
+	}
+}
+
+func TestChildSeedsDecorrelated(t *testing.T) {
+	seen := make(map[int64]int)
+	for r := 0; r < 1000; r++ {
+		s := ChildSeed(42, r)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("restarts %d and %d share seed %d", prev, r, s)
+		}
+		seen[s] = r
+	}
+	// Nearby bases must not produce overlapping child streams.
+	for r := 1; r < 1000; r++ {
+		if ChildSeed(42, r) == ChildSeed(43, r) {
+			t.Fatalf("bases 42 and 43 collide at restart %d", r)
+		}
+	}
+}
+
+func TestRunPreservesRestartOrder(t *testing.T) {
+	results, err := Run(context.Background(), 50, 8, 1, func(r int, _ *stats.RNG) (int, error) {
+		return r * r, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range results {
+		if v != r*r {
+			t.Fatalf("results[%d] = %d, want %d", r, v, r*r)
+		}
+	}
+}
+
+// TestRunWorkerCountInvariant is the engine's core guarantee: the same seed
+// yields byte-identical results for any worker count, even when each restart
+// consumes a different number of random draws.
+func TestRunWorkerCountInvariant(t *testing.T) {
+	draw := func(r int, rng *stats.RNG) ([]float64, error) {
+		out := make([]float64, 3+r%5)
+		for i := range out {
+			out[i] = rng.Float64()
+		}
+		return out, nil
+	}
+	serial, err := Run(context.Background(), 40, 1, 99, draw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 40} {
+		parallel, err := Run(context.Background(), 40, workers, 99, draw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("workers=%d diverged from workers=1", workers)
+		}
+	}
+}
+
+func TestRunDifferentSeedsDiffer(t *testing.T) {
+	draw := func(r int, rng *stats.RNG) (float64, error) { return rng.Float64(), nil }
+	a, err := Run(context.Background(), 8, 4, 1, draw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), 8, 4, 2, draw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("seeds 1 and 2 produced identical restart streams")
+	}
+}
+
+func TestRunBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int64
+	_, err := Run(context.Background(), 64, workers, 1, func(r int, _ *stats.RNG) (int, error) {
+		cur := active.Add(1)
+		defer active.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent restarts, bound is %d", p, workers)
+	}
+}
+
+func TestRunFirstErrorPropagation(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		_, err := Run(context.Background(), 32, workers, 1, func(r int, _ *stats.RNG) (int, error) {
+			if r >= 5 {
+				return 0, fmt.Errorf("%w at %d", sentinel, r)
+			}
+			return r, nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: error %v does not wrap the restart failure", workers, err)
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var completed atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, 1000, 2, 1, func(r int, _ *stats.RNG) (int, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-release
+			completed.Add(1)
+			return r, nil
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	close(release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := completed.Load(); n >= 1000 {
+		t.Fatalf("all restarts ran despite cancellation")
+	}
+}
+
+func TestRunZeroRestarts(t *testing.T) {
+	results, err := Run(context.Background(), 0, 4, 1, func(r int, _ *stats.RNG) (int, error) {
+		t.Fatal("restart function called for n=0")
+		return 0, nil
+	})
+	if err != nil || results != nil {
+		t.Fatalf("Run(n=0) = (%v, %v), want (nil, nil)", results, err)
+	}
+}
+
+func TestRunNilFunction(t *testing.T) {
+	if _, err := Run[int](context.Background(), 3, 2, 1, nil); err == nil {
+		t.Fatal("nil restart function accepted")
+	}
+}
+
+func TestBestTiesKeepLowestIndex(t *testing.T) {
+	idx := Best([]int{3, 7, 7, 1}, func(a, b int) bool { return a > b })
+	if idx != 1 {
+		t.Fatalf("Best = %d, want 1 (first of the tied maxima)", idx)
+	}
+	if Best(nil, func(a, b int) bool { return a > b }) != -1 {
+		t.Fatal("Best(empty) != -1")
+	}
+}
+
+// TestConcurrentRuns exercises several engine runs racing each other (for
+// the -race build): the engine must not share any state across calls.
+func TestConcurrentRuns(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			results, err := Run(context.Background(), 20, 4, seed, func(r int, rng *stats.RNG) (float64, error) {
+				return rng.Float64(), nil
+			})
+			if err != nil || len(results) != 20 {
+				t.Errorf("seed %d: %v (%d results)", seed, err, len(results))
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+}

@@ -10,11 +10,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/stats"
 )
 
 // Config controls experiment fidelity.
@@ -27,6 +30,12 @@ type Config struct {
 	Scale float64
 	// Seed drives data generation and all algorithm randomness.
 	Seed int64
+	// Workers bounds how many (algorithm × dataset × seed) cells run
+	// concurrently; <= 0 means runtime.GOMAXPROCS(0). Every repeated run
+	// keeps its historical per-repeat seed, so tables are identical for
+	// every worker count — only wall-clock time changes. The scalability
+	// timings (Figure 8) always run serially to stay meaningful.
+	Workers int
 }
 
 // Paper returns the full-fidelity configuration.
@@ -97,19 +106,36 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 // bestOf runs fn Repeats times with distinct seeds and returns the result
 // with the best algorithm-specific objective score, mirroring the paper's
 // protocol ("we repeated each experiment 10 times and report only the
-// result that gives the best algorithm-specific objective score").
-func bestOf(repeats int, baseSeed int64, fn func(seed int64) (*cluster.Result, error)) (*cluster.Result, error) {
-	var best *cluster.Result
-	for r := 0; r < repeats; r++ {
-		res, err := fn(baseSeed + int64(r))
-		if err != nil {
-			return nil, err
-		}
-		if best == nil || res.Better(res.Score, best.Score) {
-			best = res
-		}
+// result that gives the best algorithm-specific objective score"). The
+// repeats run concurrently on up to `workers` goroutines; each repeat keeps
+// its historical seed baseSeed+r and ties keep the lowest repeat, so the
+// winner is identical for every worker count.
+func bestOf(repeats, workers int, baseSeed int64, fn func(seed int64) (*cluster.Result, error)) (*cluster.Result, error) {
+	results, err := engine.Run(context.Background(), repeats, workers, baseSeed,
+		func(r int, _ *stats.RNG) (*cluster.Result, error) {
+			return fn(baseSeed + int64(r))
+		})
+	if err != nil {
+		return nil, err
 	}
-	return best, nil
+	if len(results) == 0 {
+		return nil, fmt.Errorf("experiments: bestOf with %d repeats", repeats)
+	}
+	return results[engine.Best(results, func(a, b *cluster.Result) bool {
+		return a.Better(a.Score, b.Score)
+	})], nil
+}
+
+// parallelCells runs independent table cells (one closure each, writing to
+// its own captured variables) concurrently on up to `workers` goroutines.
+// Cells must not share mutable state; determinism is theirs to keep — every
+// cell in this package is a pure function of the config seeds.
+func parallelCells(workers int, cells ...func() error) error {
+	_, err := engine.Run(context.Background(), len(cells), workers, 0,
+		func(i int, _ *stats.RNG) (struct{}, error) {
+			return struct{}{}, cells[i]()
+		})
+	return err
 }
 
 // median returns the median of xs (for the knowledge experiments, which

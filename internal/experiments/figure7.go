@@ -65,7 +65,7 @@ func Figure7(cfg Config) (*Table, error) {
 	t.Add("HARP", h1, h2)
 
 	// PROCLUS with the correct l.
-	pr, err := proclusBest(mg.First, k, lreal, cfg.Repeats, cfg.Seed)
+	pr, err := proclusBest(mg.First, k, lreal, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +76,7 @@ func Figure7(cfg Config) (*Table, error) {
 	t.Add("PROCLUS", p1, p2)
 
 	// Raw SSPC.
-	raw, err := sspcBest(mg.First, k, core.SchemeM, 0.5, nil, cfg.Repeats, cfg.Seed)
+	raw, err := sspcBest(mg.First, k, core.SchemeM, 0.5, nil, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +96,7 @@ func Figure7(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := bestOf(cfg.Repeats, cfg.Seed, func(s int64) (*cluster.Result, error) {
+		res, err := bestOf(cfg.Repeats, cfg.Workers, cfg.Seed, func(s int64) (*cluster.Result, error) {
 			opts := core.DefaultOptions(k)
 			opts.M = 0.5
 			opts.Knowledge = kn

@@ -20,8 +20,8 @@ func ariOf(gt *synth.GroundTruth, res *cluster.Result) (float64, error) {
 
 // sspcBest runs SSPC best-of-repeats (by φ) for one parameter value.
 func sspcBest(gt *synth.GroundTruth, k int, scheme core.ThresholdScheme, param float64,
-	kn *dataset.Knowledge, repeats int, seed int64) (*cluster.Result, error) {
-	return bestOf(repeats, seed, func(s int64) (*cluster.Result, error) {
+	kn *dataset.Knowledge, cfg Config) (*cluster.Result, error) {
+	return bestOf(cfg.Repeats, cfg.Workers, cfg.Seed, func(s int64) (*cluster.Result, error) {
 		opts := core.DefaultOptions(k)
 		opts.Scheme = scheme
 		if scheme == core.SchemeM {
@@ -36,8 +36,8 @@ func sspcBest(gt *synth.GroundTruth, k int, scheme core.ThresholdScheme, param f
 }
 
 // proclusBest runs PROCLUS best-of-repeats (by its cost) for one l.
-func proclusBest(gt *synth.GroundTruth, k, l, repeats int, seed int64) (*cluster.Result, error) {
-	return bestOf(repeats, seed, func(s int64) (*cluster.Result, error) {
+func proclusBest(gt *synth.GroundTruth, k, l int, cfg Config) (*cluster.Result, error) {
+	return bestOf(cfg.Repeats, cfg.Workers, cfg.Seed, func(s int64) (*cluster.Result, error) {
 		opts := proclus.DefaultOptions(k, l)
 		opts.Seed = s
 		return proclus.Run(gt.Data, opts)
@@ -115,48 +115,61 @@ func Figure3(cfg Config) (*Table, error) {
 			return nil, err
 		}
 
-		clr, err := bestOf(cfg.Repeats, cfg.Seed, func(s int64) (*cluster.Result, error) {
-			opts := clarans.DefaultOptions(k)
-			opts.Seed = s
-			return clarans.Run(gt.Data, opts)
-		})
-		if err != nil {
-			return nil, err
-		}
-		claransARI, err := ariOf(gt, clr)
-		if err != nil {
-			return nil, err
-		}
-
-		hr, err := harp.Run(gt.Data, harp.DefaultOptions(k))
-		if err != nil {
-			return nil, err
-		}
-		harpARI, err := ariOf(gt, hr)
-		if err != nil {
-			return nil, err
-		}
-
-		var lParams []float64
-		for _, l := range proclusLValues(lreal, d) {
-			lParams = append(lParams, float64(l))
-		}
-		proclusARI, err := bestARIOverParams(gt, func(p float64) (*cluster.Result, error) {
-			return proclusBest(gt, k, int(p), cfg.Repeats, cfg.Seed)
-		}, lParams)
-		if err != nil {
-			return nil, err
-		}
-
-		sspcM, err := bestARIOverParams(gt, func(p float64) (*cluster.Result, error) {
-			return sspcBest(gt, k, core.SchemeM, p, nil, cfg.Repeats, cfg.Seed)
-		}, fig3MValues)
-		if err != nil {
-			return nil, err
-		}
-		sspcP, err := bestARIOverParams(gt, func(p float64) (*cluster.Result, error) {
-			return sspcBest(gt, k, core.SchemeP, p, nil, cfg.Repeats, cfg.Seed)
-		}, fig3PValues)
+		// The five algorithm columns of this x-point are independent cells;
+		// run them concurrently. The cells' inner repeats run serially
+		// (inner.Workers = 1) so the total concurrency honors cfg.Workers
+		// instead of squaring it.
+		inner := cfg
+		inner.Workers = 1
+		var claransARI, harpARI, proclusARI, sspcM, sspcP float64
+		lreal := lreal
+		err = parallelCells(cfg.Workers,
+			func() error {
+				clr, err := bestOf(inner.Repeats, inner.Workers, inner.Seed, func(s int64) (*cluster.Result, error) {
+					opts := clarans.DefaultOptions(k)
+					opts.Seed = s
+					return clarans.Run(gt.Data, opts)
+				})
+				if err != nil {
+					return err
+				}
+				claransARI, err = ariOf(gt, clr)
+				return err
+			},
+			func() error {
+				hr, err := harp.Run(gt.Data, harp.DefaultOptions(k))
+				if err != nil {
+					return err
+				}
+				harpARI, err = ariOf(gt, hr)
+				return err
+			},
+			func() error {
+				var lParams []float64
+				for _, l := range proclusLValues(lreal, d) {
+					lParams = append(lParams, float64(l))
+				}
+				var err error
+				proclusARI, err = bestARIOverParams(gt, func(p float64) (*cluster.Result, error) {
+					return proclusBest(gt, k, int(p), inner)
+				}, lParams)
+				return err
+			},
+			func() error {
+				var err error
+				sspcM, err = bestARIOverParams(gt, func(p float64) (*cluster.Result, error) {
+					return sspcBest(gt, k, core.SchemeM, p, nil, inner)
+				}, fig3MValues)
+				return err
+			},
+			func() error {
+				var err error
+				sspcP, err = bestARIOverParams(gt, func(p float64) (*cluster.Result, error) {
+					return sspcBest(gt, k, core.SchemeP, p, nil, inner)
+				}, fig3PValues)
+				return err
+			},
+		)
 		if err != nil {
 			return nil, err
 		}
@@ -191,28 +204,39 @@ func Figure4(cfg Config) (*Table, error) {
 		XLabel:  "param idx",
 		Columns: []string{"PROCLUS(l)", "SSPC(m)", "SSPC(p)"},
 	}
+	// As in Figure3: cells fan out, inner repeats stay serial so the total
+	// concurrency honors cfg.Workers instead of squaring it.
+	inner := cfg
+	inner.Workers = 1
 	for i := 0; i < 9; i++ {
-		pr, err := proclusBest(gt, k, fig4LValues[i], cfg.Repeats, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		proclusARI, err := ariOf(gt, pr)
-		if err != nil {
-			return nil, err
-		}
-		sm, err := sspcBest(gt, k, core.SchemeM, fig4MValues[i], nil, cfg.Repeats, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		mARI, err := ariOf(gt, sm)
-		if err != nil {
-			return nil, err
-		}
-		sp, err := sspcBest(gt, k, core.SchemeP, fig4PValues[i], nil, cfg.Repeats, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		pARI, err := ariOf(gt, sp)
+		var proclusARI, mARI, pARI float64
+		i := i
+		err := parallelCells(cfg.Workers,
+			func() error {
+				pr, err := proclusBest(gt, k, fig4LValues[i], inner)
+				if err != nil {
+					return err
+				}
+				proclusARI, err = ariOf(gt, pr)
+				return err
+			},
+			func() error {
+				sm, err := sspcBest(gt, k, core.SchemeM, fig4MValues[i], nil, inner)
+				if err != nil {
+					return err
+				}
+				mARI, err = ariOf(gt, sm)
+				return err
+			},
+			func() error {
+				sp, err := sspcBest(gt, k, core.SchemeP, fig4PValues[i], nil, inner)
+				if err != nil {
+					return err
+				}
+				pARI, err = ariOf(gt, sp)
+				return err
+			},
+		)
 		if err != nil {
 			return nil, err
 		}
@@ -242,7 +266,7 @@ func OutlierImmunity(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := sspcBest(gt, k, core.SchemeM, 0.5, nil, cfg.Repeats, cfg.Seed)
+		res, err := sspcBest(gt, k, core.SchemeM, 0.5, nil, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/eval"
+	"repro/internal/stats"
 	"repro/internal/synth"
 )
 
@@ -30,16 +33,18 @@ func knowledgeARI(gt *synth.GroundTruth, k int, kcfg synth.KnowledgeConfig, runS
 
 // medianKnowledgeARI repeats knowledgeARI with independent knowledge draws
 // and returns the median, as the paper reports ("each point ... is the
-// median of 10 repeated runs with 10 independent sets of inputs").
-func medianKnowledgeARI(gt *synth.GroundTruth, k int, kcfg synth.KnowledgeConfig, repeats int, seed int64) (float64, error) {
-	vals := make([]float64, 0, repeats)
-	for r := 0; r < repeats; r++ {
-		kcfg.Seed = seed + int64(1000*r)
-		a, err := knowledgeARI(gt, k, kcfg, seed+int64(r))
-		if err != nil {
-			return 0, err
-		}
-		vals = append(vals, a)
+// median of 10 repeated runs with 10 independent sets of inputs"). The
+// repeats run concurrently; each keeps its historical knowledge and run
+// seeds, so the median is identical for every worker count.
+func medianKnowledgeARI(gt *synth.GroundTruth, k int, kcfg synth.KnowledgeConfig, cfg Config) (float64, error) {
+	vals, err := engine.Run(context.Background(), cfg.Repeats, cfg.Workers, cfg.Seed,
+		func(r int, _ *stats.RNG) (float64, error) {
+			rcfg := kcfg
+			rcfg.Seed = cfg.Seed + int64(1000*r)
+			return knowledgeARI(gt, k, rcfg, cfg.Seed+int64(r))
+		})
+	if err != nil {
+		return 0, err
 	}
 	return median(vals), nil
 }
@@ -77,7 +82,7 @@ func Figure5(cfg Config) (*Table, error) {
 			if size == 0 {
 				kcfg.Kind = synth.NoKnowledge
 			}
-			a, err := medianKnowledgeARI(gt, 5, kcfg, cfg.Repeats, cfg.Seed)
+			a, err := medianKnowledgeARI(gt, 5, kcfg, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -111,7 +116,7 @@ func Figure6(cfg Config) (*Table, error) {
 			if coverage == 0 {
 				kcfg.Kind = synth.NoKnowledge
 			}
-			a, err := medianKnowledgeARI(gt, 5, kcfg, cfg.Repeats, cfg.Seed)
+			a, err := medianKnowledgeARI(gt, 5, kcfg, cfg)
 			if err != nil {
 				return nil, err
 			}

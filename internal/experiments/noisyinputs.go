@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/stats"
 	"repro/internal/synth"
@@ -29,50 +31,66 @@ func NoisyInputs(cfg Config) (*Table, error) {
 		XLabel:  "corrupt%",
 		Columns: []string{"trusting", "validated", "flagged"},
 	}
+	type repeatOutcome struct {
+		trust, valid, flagged float64
+	}
 	for pct := 0; pct <= 50; pct += 10 {
+		pct := pct
+		// The repeats are independent (each draws and corrupts its own
+		// knowledge copy); run them concurrently with their historical
+		// seeds, so the medians match the serial protocol exactly.
+		outcomes, err := engine.Run(context.Background(), cfg.Repeats, cfg.Workers, cfg.Seed,
+			func(r int, _ *stats.RNG) (repeatOutcome, error) {
+				// Objects-only knowledge: labeled dimensions would mask the
+				// object corruption entirely (they anchor the grids on their
+				// own), which hides exactly the effect this experiment
+				// studies.
+				kn, err := synth.SampleKnowledge(gt, synth.KnowledgeConfig{
+					Kind: synth.ObjectsOnly, Coverage: 1, Size: 6,
+					Seed: cfg.Seed + int64(100*r+pct),
+				})
+				if err != nil {
+					return repeatOutcome{}, err
+				}
+				corruptObjectLabels(gt, kn, float64(pct)/100, cfg.Seed+int64(r+pct))
+
+				opts := core.DefaultOptions(5)
+				opts.Knowledge = kn
+				opts.Seed = cfg.Seed + int64(r)
+
+				trusting, err := core.Run(gt.Data, opts)
+				if err != nil {
+					return repeatOutcome{}, err
+				}
+				drop := kn.LabeledObjectSet()
+				ft, fp := eval.Filter(gt.Labels, trusting.Assignments, drop)
+				trust, err := eval.ARI(ft, fp)
+				if err != nil {
+					return repeatOutcome{}, err
+				}
+
+				validated, report, err := core.RunValidated(gt.Data, opts, 2)
+				if err != nil {
+					return repeatOutcome{}, err
+				}
+				ft, fp = eval.Filter(gt.Labels, validated.Assignments, drop)
+				valid, err := eval.ARI(ft, fp)
+				if err != nil {
+					return repeatOutcome{}, err
+				}
+				flagged := float64(len(report.SuspectObjects) + len(report.SuspectDims))
+				return repeatOutcome{trust: trust, valid: valid, flagged: flagged}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		trustVals := make([]float64, 0, cfg.Repeats)
 		validVals := make([]float64, 0, cfg.Repeats)
 		flaggedTotal := 0.0
-		for r := 0; r < cfg.Repeats; r++ {
-			// Objects-only knowledge: labeled dimensions would mask the
-			// object corruption entirely (they anchor the grids on their
-			// own), which hides exactly the effect this experiment studies.
-			kn, err := synth.SampleKnowledge(gt, synth.KnowledgeConfig{
-				Kind: synth.ObjectsOnly, Coverage: 1, Size: 6,
-				Seed: cfg.Seed + int64(100*r+pct),
-			})
-			if err != nil {
-				return nil, err
-			}
-			corruptObjectLabels(gt, kn, float64(pct)/100, cfg.Seed+int64(r+pct))
-
-			opts := core.DefaultOptions(5)
-			opts.Knowledge = kn
-			opts.Seed = cfg.Seed + int64(r)
-
-			trusting, err := core.Run(gt.Data, opts)
-			if err != nil {
-				return nil, err
-			}
-			drop := kn.LabeledObjectSet()
-			ft, fp := eval.Filter(gt.Labels, trusting.Assignments, drop)
-			a, err := eval.ARI(ft, fp)
-			if err != nil {
-				return nil, err
-			}
-			trustVals = append(trustVals, a)
-
-			validated, report, err := core.RunValidated(gt.Data, opts, 2)
-			if err != nil {
-				return nil, err
-			}
-			ft, fp = eval.Filter(gt.Labels, validated.Assignments, drop)
-			a, err = eval.ARI(ft, fp)
-			if err != nil {
-				return nil, err
-			}
-			validVals = append(validVals, a)
-			flaggedTotal += float64(len(report.SuspectObjects) + len(report.SuspectDims))
+		for _, o := range outcomes {
+			trustVals = append(trustVals, o.trust)
+			validVals = append(validVals, o.valid)
+			flaggedTotal += o.flagged
 		}
 		t.Add(fmt.Sprintf("%d%%", pct),
 			median(trustVals), median(validVals), flaggedTotal/float64(cfg.Repeats))

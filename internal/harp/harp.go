@@ -12,6 +12,7 @@
 package harp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -35,6 +37,19 @@ type Options struct {
 	// ReportR is the relevance at which a dimension is reported as
 	// selected for the final clusters (default 0.5).
 	ReportR float64
+
+	// HARP's merge procedure is deterministic; its only free choice is the
+	// order in which clusters are scanned, which breaks ties between
+	// equally good merges and decides which mutual pairs merge when a batch
+	// would overshoot K. Seed randomizes that scan order and Restarts runs
+	// several such randomized orders concurrently (on up to Workers
+	// goroutines), keeping the highest-scoring clustering. Seed = 0 with
+	// Restarts <= 1 is the canonical published order. Restart r derives its
+	// RNG from engine.ChildSeed(Seed, r); the worker count never changes
+	// the result.
+	Seed     int64
+	Restarts int
+	Workers  int
 }
 
 // DefaultOptions returns a configuration matching the published defaults.
@@ -52,12 +67,13 @@ type node struct {
 }
 
 // Run executes HARP. It is O(n²·d) in the worst case; the evaluation uses
-// it at the paper's scale (n = 1000, d = 100).
+// it at the paper's scale (n = 1000, d = 100). Restarts with randomized
+// scan orders run concurrently through the restart engine; see Options.
 func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if ds == nil {
 		return nil, errors.New("harp: nil dataset")
 	}
-	n, d := ds.N(), ds.D()
+	n := ds.N()
 	if opts.K <= 0 || opts.K > n {
 		return nil, fmt.Errorf("harp: K = %d out of range", opts.K)
 	}
@@ -70,6 +86,29 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if opts.ReportR <= 0 || opts.ReportR >= 1 {
 		opts.ReportR = 0.5
 	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	results, err := engine.Run(context.Background(), restarts, opts.Workers, opts.Seed,
+		func(restart int, rng *stats.RNG) (*cluster.Result, error) {
+			var order []int
+			if opts.Seed != 0 || restart > 0 {
+				order = rng.Perm(n)
+			}
+			return runOnce(ds, opts, order)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return cluster.BestResult(results), nil
+}
+
+// runOnce executes one agglomerative merge pass. order permutes the initial
+// cluster scan order (nil = canonical object order); members always carry
+// original object ids, so only tie-breaking and batch cutoffs depend on it.
+func runOnce(ds *dataset.Dataset, opts Options, order []int) (*cluster.Result, error) {
+	n, d := ds.N(), ds.D()
 
 	globalVar := make([]float64, d)
 	for j := 0; j < d; j++ {
@@ -81,12 +120,16 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 
 	nodes := make([]*node, n)
 	for i := 0; i < n; i++ {
+		obj := i
+		if order != nil {
+			obj = order[i]
+		}
 		st := make([]stats.Running, d)
-		row := ds.Row(i)
+		row := ds.Row(obj)
 		for j := 0; j < d; j++ {
 			st[j].Add(row[j])
 		}
-		nodes[i] = &node{members: []int{i}, stats: st, active: true}
+		nodes[i] = &node{members: []int{obj}, stats: st, active: true}
 	}
 	activeCount := n
 

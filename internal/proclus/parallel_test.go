@@ -1,0 +1,83 @@
+package proclus
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestParallelRestartsMatchSerial pins the determinism contract: the worker
+// count never changes the Result.
+func TestParallelRestartsMatchSerial(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 200, D: 20, K: 3, AvgDims: 6, Seed: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Options {
+		opts := DefaultOptions(3, 6)
+		opts.Seed = 5
+		opts.Restarts = 5
+		opts.Workers = workers
+		return &opts
+	}
+	serial, err := Run(gt.Data, *run(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(gt.Data, *run(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("Workers=8 produced a different Result than Workers=1")
+	}
+}
+
+// TestRestartsImproveOrKeepCost checks the best-of reduction direction:
+// PROCLUS minimizes, so more restarts can only lower the best cost.
+func TestRestartsImproveOrKeepCost(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 300, D: 25, K: 3, AvgDims: 8, Seed: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(3, 8)
+	opts.Seed = 2
+	single, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Restarts = 6
+	multi, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Score > single.Score {
+		t.Fatalf("best of 6 restarts (cost %v) worse than restart 0 alone (%v)", multi.Score, single.Score)
+	}
+}
+
+// TestConcurrentRunsSharedDataset races full Run calls on one Dataset;
+// meaningful under -race.
+func TestConcurrentRunsSharedDataset(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 200, D: 20, K: 3, AvgDims: 6, Seed: 82})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		seed := int64(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := DefaultOptions(3, 6)
+			opts.Seed = seed
+			opts.Restarts = 2
+			if _, err := Run(gt.Data, opts); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		}()
+	}
+	wg.Wait()
+}

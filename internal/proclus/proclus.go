@@ -12,6 +12,7 @@
 package proclus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -48,6 +50,16 @@ type Options struct {
 	OutlierHandling bool
 
 	Seed int64
+
+	// Restarts is the number of independent randomized runs; the result
+	// with the lowest PROCLUS cost is returned (ties keep the lowest
+	// restart index). <= 0 means 1. Restart r derives its RNG from
+	// engine.ChildSeed(Seed, r).
+	Restarts int
+
+	// Workers bounds how many restarts run concurrently; <= 0 means
+	// runtime.GOMAXPROCS(0). The worker count never changes the result.
+	Workers int
 }
 
 // DefaultOptions mirrors the constants of the original paper.
@@ -92,16 +104,33 @@ func (o Options) normalized(ds *dataset.Dataset) (Options, error) {
 	if o.MaxIterations <= 0 {
 		o.MaxIterations = 60
 	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
 	return o, nil
 }
 
-// Run executes PROCLUS and returns the clustering.
+// Run executes PROCLUS and returns the best clustering (lowest cost) across
+// Options.Restarts independent randomized runs, executed concurrently on up
+// to Options.Workers goroutines through the restart engine. The result is a
+// pure function of (ds, opts), independent of the worker count.
 func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	opts, err := opts.normalized(ds)
 	if err != nil {
 		return nil, err
 	}
-	rng := stats.NewRNG(opts.Seed)
+	results, err := engine.Run(context.Background(), opts.Restarts, opts.Workers, opts.Seed,
+		func(_ int, rng *stats.RNG) (*cluster.Result, error) {
+			return runOnce(ds, opts, rng)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return cluster.BestResult(results), nil
+}
+
+// runOnce executes one randomized PROCLUS run with its own RNG.
+func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG) (*cluster.Result, error) {
 	n := ds.N()
 
 	candidates := greedyPiercing(ds, rng, opts)

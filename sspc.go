@@ -15,6 +15,30 @@
 //	res, _ := sspc.Cluster(gt.Data, sspc.DefaultOptions(4))
 //	ari, _ := sspc.ARI(gt.Labels, res.Assignments)
 //
+// # Parallelism and determinism
+//
+// Every randomized algorithm here (SSPC, PROCLUS, CLARANS, DOC, and HARP's
+// randomized scan orders) runs its independent restarts through a shared
+// worker-pool engine. Each Options struct exposes two knobs:
+//
+//   - Restarts: the number of independent randomized runs; the best result
+//     by the algorithm's own objective is returned. For CLARANS it overrides
+//     the paper's NumLocal, which is the same knob under another name.
+//   - Workers: the maximum number of restarts executed concurrently; <= 0
+//     means runtime.GOMAXPROCS(0).
+//
+// Results are a pure function of (dataset, options): restart r derives its
+// RNG from a splitmix-style child of Options.Seed, results are reduced in
+// restart order, and ties keep the lowest restart — so Workers = 1 and
+// Workers = N produce byte-identical Results, and a single-restart run
+// reproduces the historical serial output for the same Seed. Datasets are
+// safe for any number of concurrent readers; concurrent Cluster calls may
+// share one *Dataset.
+//
+//	opts := sspc.DefaultOptions(4)
+//	opts.Restarts = 8 // 8 restarts, all CPUs, same answer as Workers=1
+//	res, _ := sspc.Cluster(gt.Data, opts)
+//
 // The subpackages under internal/ hold the implementations; this package is
 // the stable public surface.
 package sspc
