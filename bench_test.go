@@ -137,6 +137,34 @@ func BenchmarkClusterParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkAssignChunked measures intra-restart scaling: a single SSPC
+// restart (Restarts=1 routes the whole worker budget into the chunked
+// assignment and dimension re-selection loops) at 1/2/4/8 workers, plus the
+// chunk-granularity sweep at 8 workers. The Result is byte-identical across
+// every sub-benchmark (pinned by TestGoldenChunkedAssignment); only
+// wall-clock time changes — run on multi-core hardware for the speedup
+// curve, single-core CI only tracks the serial baseline.
+func BenchmarkAssignChunked(b *testing.B) {
+	gt := benchGroundTruth(b, 2000, 200, 5, 12)
+	run := func(b *testing.B, workers, chunkSize int) {
+		for i := 0; i < b.N; i++ {
+			opts := DefaultOptions(5)
+			opts.Seed = 42
+			opts.Workers = workers
+			opts.ChunkSize = chunkSize
+			if _, err := Cluster(gt.Data, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) { run(b, workers, 0) })
+	}
+	for _, chunkSize := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("workers=8/chunk=%d", chunkSize), func(b *testing.B) { run(b, 8, chunkSize) })
+	}
+}
+
 // BenchmarkExperimentsParallel measures harness scaling on a real figure
 // (Figure 4's parameter sweep) at 1/2/4/8 workers; the rendered table is
 // identical across the sub-benchmarks.

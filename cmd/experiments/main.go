@@ -26,10 +26,11 @@ func main() {
 		scale   = flag.Float64("scale", 0.4, "dataset size scale (1.0 = paper)")
 		seed    = flag.Int64("seed", 1, "master random seed")
 		workers = flag.Int("workers", 0, "concurrent (algorithm × dataset × seed) cells; 0 = GOMAXPROCS. Tables are identical for every value")
+		early   = flag.Int("earlystop", 0, "stop each best-of-repeats protocol once its objective has not improved for this many consecutive repeats; -repeats stays the cap. 0 = paper's fixed-repeat protocol")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Repeats: *repeats, Scale: *scale, Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{Repeats: *repeats, Scale: *scale, Seed: *seed, Workers: *workers, EarlyStop: *early}
 
 	type figure struct {
 		id  string

@@ -49,7 +49,9 @@ func main() {
 		w         = flag.Float64("w", 0, "DOC box half-width (required for doc)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		restarts  = flag.Int("restarts", 0, "independent randomized restarts; best result by the algorithm's objective wins. 0 = algorithm default (1; clarans: numlocal 2)")
-		workers   = flag.Int("workers", 0, "concurrent restarts; 0 = all CPUs. Never changes the result, only the wall-clock time")
+		workers   = flag.Int("workers", 0, "concurrent restarts (spare workers parallelize inside each SSPC restart); 0 = all CPUs. Never changes the result, only the wall-clock time")
+		earlyStop = flag.Int("earlystop", 0, "SSPC only: stop streaming restarts once the objective has not improved for this many consecutive restarts; -restarts stays the cap. 0 = run all restarts")
+		chunk     = flag.Int("chunk", 0, "SSPC only: objects per intra-restart assignment chunk; 0 = default (512). Any value gives identical output")
 		knowledge = flag.String("knowledge", "", "knowledge file for SSPC (object/dim labels)")
 		normalize = flag.String("normalize", "none", "preprocessing: none | zscore | minmax | robust")
 		validate  = flag.Bool("validate", false, "validate knowledge and drop suspect entries before clustering (SSPC only)")
@@ -118,6 +120,8 @@ func main() {
 		opts.Seed = *seed
 		opts.Restarts = *restarts
 		opts.Workers = *workers
+		opts.EarlyStop = *earlyStop
+		opts.ChunkSize = *chunk
 		if *knowledge != "" {
 			kn, err := readKnowledge(*knowledge)
 			if err != nil {

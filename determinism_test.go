@@ -175,6 +175,56 @@ func TestWorkerCountInvariance(t *testing.T) {
 	})
 }
 
+// TestGoldenChunkedAssignment pins the intra-restart parallelism contract at
+// the public API: the chunked assignment step reproduces the exact golden
+// fingerprint of the pre-chunking serial loop for every (ChunkSize, Workers)
+// combination — the same pin TestGoldenSerialEquivalence holds for SSPC.
+func TestGoldenChunkedAssignment(t *testing.T) {
+	gt := detFixture(t)
+	const want = "5c33774cfd995ba7 score=0.176140223125" // = the SSPC golden pin
+	for _, chunkSize := range []int{1, 7, 512, 1 << 20} {
+		for _, workers := range []int{1, 8} {
+			opts := DefaultOptions(3)
+			opts.Seed = 5
+			opts.ChunkSize = chunkSize
+			opts.Workers = workers // Restarts=1, so the budget goes intra-restart
+			res, err := Cluster(gt.Data, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(res); got != want {
+				t.Errorf("ChunkSize=%d Workers=%d: fingerprint = %s, want %s",
+					chunkSize, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestEarlyStopOffReproducesFixedRestarts pins streaming-off compatibility at
+// the public API: EarlyStop = 0 and a window that can never trigger both
+// reproduce the fixed best-of-Restarts Result byte for byte.
+func TestEarlyStopOffReproducesFixedRestarts(t *testing.T) {
+	gt := detFixture(t)
+	run := func(earlyStop, workers int) *Result {
+		opts := DefaultOptions(3)
+		opts.Seed = 3
+		opts.Restarts = 6
+		opts.EarlyStop = earlyStop
+		opts.Workers = workers
+		res, err := Cluster(gt.Data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fixed := run(0, 1)
+	for _, workers := range []int{1, 8} {
+		if got := run(6, workers); !reflect.DeepEqual(fixed, got) {
+			t.Errorf("EarlyStop=6 Workers=%d diverged from the fixed-restarts run", workers)
+		}
+	}
+}
+
 // TestSeedsProduceDifferentClusterings checks the flip side: the seed is
 // not a decoration. Two runs with different seeds must explore different
 // random choices and land on different results on a fixture noisy enough

@@ -1,0 +1,65 @@
+package sspc
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryPackageHasGodoc enforces the documentation contract: every
+// package in the module — the public sspc package, every internal/*
+// package, every command under cmd/, and every runnable example — must
+// carry a package-level doc comment. ARCHITECTURE.md maps the layers; this
+// test keeps the per-package docs from rotting as packages are added.
+func TestEveryPackageHasGodoc(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// package import dir -> true once a doc comment was seen
+	docs := map[string]bool{}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			docs[dir] = true
+		} else if _, ok := docs[dir]; !ok {
+			docs[dir] = false
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) < 20 {
+		t.Fatalf("walked only %d packages — wrong working directory?", len(docs))
+	}
+	for dir, ok := range docs {
+		if !ok {
+			t.Errorf("package in %s has no package-level doc comment on any file", dir)
+		}
+	}
+}

@@ -74,6 +74,15 @@ func (r *Result) Better(a, b float64) bool {
 	return a < b
 }
 
+// BetterResult reports whether result a beats result b under a's own score
+// direction — the strict predicate the streaming restart engine uses to
+// decide whether a restart improved the incumbent best. Both results must
+// come from the same algorithm (same score direction), as with the paper's
+// best-of-n protocol.
+func BetterResult(a, b *Result) bool {
+	return a.Better(a.Score, b.Score)
+}
+
 // BestResult reduces a slice of per-restart results to the winner: the one
 // with the best Score under its own score direction, ties keeping the
 // lowest index so the reduction is deterministic. The winner's Iterations

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// The two inner loops of one SSPC iteration — the point→cluster assignment
+// (Step 3, O(n·K·|V|)) and the per-cluster dimension re-selection (Step 4,
+// O(n·d)) — dominate a restart's runtime. Both are embarrassingly parallel
+// with disjoint writes, so the assigner runs them across a fixed-chunk
+// worker pool: chunk boundaries depend only on ChunkSize, every chunk writes
+// exclusively to its own output slots, and all floating-point accumulation
+// happens either per-point (assignment) or in a serial ordered reduction
+// over cluster indices (evaluation). Workers and ChunkSize therefore tune
+// wall-clock time only; the output is byte-identical to the serial loop.
+
+// assigner holds the worker budget and per-worker scratch of one restart.
+type assigner struct {
+	workers   int
+	chunkSize int
+	bufs      [][]float64 // per worker slot: median buffer, len n
+	scratches [][]dimEval // per worker slot: dimension evals, cap d
+	evals     []clusterEval
+}
+
+// newAssigner sizes the scratch buffers for a dataset of n objects and d
+// dimensions clustered into k clusters, with at most `workers` goroutines
+// per iteration step.
+func newAssigner(n, d, k, workers, chunkSize int) *assigner {
+	if workers < 1 {
+		workers = 1
+	}
+	slots := workers
+	if slots > k {
+		slots = k // evaluation has only k units of work
+	}
+	a := &assigner{
+		workers:   workers,
+		chunkSize: chunkSize,
+		bufs:      make([][]float64, slots),
+		scratches: make([][]dimEval, slots),
+		evals:     make([]clusterEval, k),
+	}
+	for w := range a.bufs {
+		a.bufs[w] = make([]float64, n)
+		a.scratches[w] = make([]dimEval, 0, d)
+	}
+	return a
+}
+
+// intraWorkers splits the total worker budget between concurrent restarts
+// and the chunked loops inside each restart: with W workers and R restarts,
+// min(W, R) restarts run concurrently and each gets ceil(W / min(W, R))
+// goroutines for its inner loops — rounding up so no part of the budget is
+// stranded when W is not a multiple of R, at the cost of mild peak
+// oversubscription that also keeps cores busy as the restart stream drains.
+// The split is a scheduling heuristic only — any value produces
+// byte-identical results.
+func intraWorkers(workers, restarts int) int {
+	w := engine.DefaultWorkers(workers)
+	concurrent := restarts
+	if concurrent > w {
+		concurrent = w
+	}
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	return (w + concurrent - 1) / concurrent
+}
+
+// assign scores every object against all K candidate clusters and writes the
+// winning cluster (or cluster.Outlier) into assign[x], in parallel over
+// fixed point-range chunks. Each point's score is a sum over the cluster's
+// selected dimensions in ascending order — the same order as the serial
+// loop — and each chunk writes only assign[lo:hi], so the result does not
+// depend on workers or chunk boundaries.
+func (a *assigner) assign(ds *dataset.Dataset, clusters []*state, sHat [][]float64, assign []int) {
+	engine.ParallelChunks(len(assign), a.chunkSize, a.workers, func(_, lo, hi int) {
+		for x := lo; x < hi; x++ {
+			row := ds.Row(x)
+			bestDelta := 0.0
+			bestC := cluster.Outlier
+			for i, st := range clusters {
+				delta := 0.0
+				for _, j := range st.dims {
+					diff := row[j] - st.rep[j]
+					delta += 1 - diff*diff/sHat[i][j]
+				}
+				if delta > bestDelta {
+					bestDelta = delta
+					bestC = i
+				}
+			}
+			assign[x] = bestC
+		}
+	})
+}
+
+// evaluate reruns SelectDim on every cluster's current members (one unit of
+// work per cluster, each on its own worker-slot scratch), then applies the
+// results and sums φ_i in cluster-index order. The parallel part writes only
+// evals[i]; the ordered serial reduction keeps the floating-point sum
+// byte-identical to the serial loop.
+func (a *assigner) evaluate(ds *dataset.Dataset, clusters []*state, thr *thresholds) float64 {
+	engine.ParallelChunks(len(clusters), 1, len(a.bufs), func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.evals[i] = evaluateCluster(ds, clusters[i].members, thr, a.bufs[worker], a.scratches[worker])
+		}
+	})
+	total := 0.0
+	for i, st := range clusters {
+		st.dims = a.evals[i].dims
+		st.phi = a.evals[i].phi
+		total += a.evals[i].phi
+	}
+	return total
+}

@@ -115,10 +115,27 @@ type Options struct {
 	// pure function of (Options, Dataset) regardless of Workers.
 	Restarts int
 
-	// Workers bounds how many restarts run concurrently; <= 0 means
-	// runtime.GOMAXPROCS(0). The worker count never changes the result,
-	// only the wall-clock time.
+	// Workers bounds the total worker budget: restarts run concurrently on
+	// up to this many goroutines, and workers left over (when Workers >
+	// Restarts) parallelize the assignment step inside each restart.
+	// <= 0 means runtime.GOMAXPROCS(0). The worker count never changes the
+	// result, only the wall-clock time.
 	Workers int
+
+	// EarlyStop, when > 0, streams the restarts instead of running a fixed
+	// best-of-Restarts: restarts launch lazily and the run stops once the
+	// best objective φ has not improved for EarlyStop consecutive restarts
+	// (judged in restart-index order, so the outcome is identical for every
+	// Workers value). Restarts stays the hard cap. 0 (the default) runs all
+	// Restarts unconditionally — byte-identical to the pre-streaming
+	// engine.
+	EarlyStop int
+
+	// ChunkSize is the number of objects per unit of intra-restart work in
+	// the chunked assignment step. Chunk boundaries are fixed by this value
+	// alone, so any ChunkSize produces byte-identical output; it only tunes
+	// scheduling granularity. <= 0 means a default of 512.
+	ChunkSize int
 
 	// Trace optionally observes initialization and every iteration; nil
 	// (the default) costs nothing.
@@ -190,6 +207,12 @@ func (o Options) normalized(ds *dataset.Dataset) (Options, error) {
 	}
 	if o.Restarts <= 0 {
 		o.Restarts = 1
+	}
+	if o.EarlyStop < 0 {
+		o.EarlyStop = 0
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 512
 	}
 	if err := o.Knowledge.Validate(ds.N(), ds.D(), o.K); err != nil {
 		return o, err

@@ -24,28 +24,44 @@ type state struct {
 // Run executes SSPC (Listing 2 of the paper) on the dataset and returns the
 // best clustering found across Options.Restarts independent restarts, run
 // concurrently on up to Options.Workers goroutines through the restart
-// engine. The result is a pure function of (ds, opts): restart r always
-// draws from engine.ChildSeed(opts.Seed, r), results are reduced in restart
-// order, and ties on φ keep the lowest restart.
+// engine; workers beyond the restart count parallelize the assignment step
+// inside each restart. With Options.EarlyStop > 0 the restarts stream
+// lazily and stop once φ has plateaued for that many consecutive restarts.
+// The result is a pure function of (ds, opts): restart r always draws from
+// engine.ChildSeed(opts.Seed, r), results and the early-stop decision are
+// reduced in restart order, and ties on φ keep the lowest restart — Workers
+// and ChunkSize never change the output.
 func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	opts, err := opts.normalized(ds)
 	if err != nil {
 		return nil, err
 	}
-	results, err := engine.Run(context.Background(), opts.Restarts, opts.Workers, opts.Seed,
-		func(restart int, rng *stats.RNG) (*cluster.Result, error) {
-			return runOnce(ds, opts, restart, rng)
-		})
+	intra := intraWorkers(opts.Workers, opts.Restarts)
+	restart := func(restart int, rng *stats.RNG) (*cluster.Result, error) {
+		return runOnce(ds, opts, restart, rng, intra)
+	}
+	var results []*cluster.Result
+	if opts.EarlyStop > 0 {
+		results, err = engine.Stream(context.Background(), opts.Restarts, opts.Workers,
+			opts.Seed, opts.EarlyStop, cluster.BetterResult, restart)
+	} else {
+		results, err = engine.Run(context.Background(), opts.Restarts, opts.Workers,
+			opts.Seed, restart)
+	}
 	if err != nil {
 		return nil, err
+	}
+	if len(results) < opts.Restarts {
+		opts.Trace.emitEarlyStop(len(results), opts.Restarts)
 	}
 	return cluster.BestResult(results), nil
 }
 
-// runOnce executes one restart of the SSPC main loop with its own RNG.
-// Everything it touches is restart-local except the read-only dataset and
-// the (internally synchronized) trace.
-func runOnce(ds *dataset.Dataset, opts Options, restart int, rng *stats.RNG) (*cluster.Result, error) {
+// runOnce executes one restart of the SSPC main loop with its own RNG,
+// parallelizing the assignment and dimension re-selection steps across up
+// to intra goroutines. Everything it touches is restart-local except the
+// read-only dataset and the (internally synchronized) trace.
+func runOnce(ds *dataset.Dataset, opts Options, restart int, rng *stats.RNG, intra int) (*cluster.Result, error) {
 	thr := newThresholds(ds, opts)
 
 	private, public, err := initialize(ds, opts, thr, rng)
@@ -81,8 +97,7 @@ func runOnce(ds *dataset.Dataset, opts Options, restart int, rng *stats.RNG) (*c
 	bestPhi := make([]float64, opts.K)
 	bestScore := math.Inf(-1)
 
-	buf := make([]float64, n)
-	scratch := make([]dimEval, 0, d)
+	par := newAssigner(n, d, opts.K, intra, opts.ChunkSize)
 	sHat := make([][]float64, opts.K) // per-cluster per-dim thresholds
 	for i := range sHat {
 		sHat[i] = make([]float64, d)
@@ -95,27 +110,12 @@ func runOnce(ds *dataset.Dataset, opts Options, restart int, rng *stats.RNG) (*c
 
 		// Step 3: assign every object to the cluster whose φ_i it improves
 		// most, with the representative's projection standing in for the
-		// median. Objects improving no cluster go to the outlier list.
+		// median. Objects improving no cluster go to the outlier list. The
+		// scoring runs chunked across the intra-restart workers.
 		for i, st := range clusters {
 			thr.values(st.prevSize, sHat[i])
 		}
-		for x := 0; x < n; x++ {
-			row := ds.Row(x)
-			bestDelta := 0.0
-			bestC := cluster.Outlier
-			for i, st := range clusters {
-				delta := 0.0
-				for _, j := range st.dims {
-					diff := row[j] - st.rep[j]
-					delta += 1 - diff*diff/sHat[i][j]
-				}
-				if delta > bestDelta {
-					bestDelta = delta
-					bestC = i
-				}
-			}
-			assign[x] = bestC
-		}
+		par.assign(ds, clusters, sHat, assign)
 		for _, st := range clusters {
 			st.members = st.members[:0]
 		}
@@ -126,15 +126,9 @@ func runOnce(ds *dataset.Dataset, opts Options, restart int, rng *stats.RNG) (*c
 		}
 
 		// Step 4: redetermine the selected dimensions with the actual
-		// medians and compute the overall objective score.
-		total := 0.0
-		for _, st := range clusters {
-			ev := evaluateCluster(ds, st.members, thr, buf, scratch)
-			st.dims = ev.dims
-			st.phi = ev.phi
-			total += ev.phi
-		}
-		score := overallPhi(total, n, d)
+		// medians (one worker per cluster) and compute the overall objective
+		// score by ordered reduction over cluster indices.
+		score := overallPhi(par.evaluate(ds, clusters, thr), n, d)
 
 		// Step 5: record or restore the best clusters.
 		improved := score > bestScore

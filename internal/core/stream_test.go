@@ -1,0 +1,135 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestEarlyStopDisabledMatchesFixedRestarts pins the PR-1 compatibility
+// contract at the SSPC level: EarlyStop = 0 and an EarlyStop window too wide
+// to ever trigger must both reproduce the fixed best-of-Restarts result
+// exactly.
+func TestEarlyStopDisabledMatchesFixedRestarts(t *testing.T) {
+	gt := generate(t, synth.Config{N: 150, D: 20, K: 3, AvgDims: 5, Seed: 70})
+	run := func(earlyStop int) Options {
+		opts := DefaultOptions(3)
+		opts.Seed = 7
+		opts.Restarts = 5
+		opts.EarlyStop = earlyStop
+		return opts
+	}
+	fixed := runSSPC(t, gt, run(0))
+	// A window >= Restarts can never trigger (the plateau counter tops out
+	// at Restarts-1), so the streaming path must land on the same result.
+	widest := runSSPC(t, gt, run(5))
+	if !reflect.DeepEqual(fixed, widest) {
+		t.Fatal("EarlyStop=Restarts diverged from EarlyStop=0")
+	}
+}
+
+// TestEarlyStopPlateauCancels drives a plateau-triggered cancellation
+// through the public Run path and checks (a) the trace reports the cut, (b)
+// the consumed prefix decision is identical for every worker count, and (c)
+// the returned result is the best over exactly that prefix.
+func TestEarlyStopPlateauCancels(t *testing.T) {
+	gt := generate(t, synth.Config{N: 150, D: 20, K: 3, AvgDims: 5, Seed: 71})
+	const restarts = 12
+	run := func(workers int) (res *resultAndStop) {
+		res = &resultAndStop{}
+		opts := DefaultOptions(3)
+		opts.Seed = 9
+		opts.Restarts = restarts
+		opts.EarlyStop = 2
+		opts.Workers = workers
+		opts.Trace = &Trace{OnEarlyStop: func(consumed, planned int) {
+			res.consumed, res.planned = consumed, planned
+		}}
+		res.result = runSSPC(t, gt, opts)
+		return res
+	}
+	serial := run(1)
+	if serial.planned != restarts {
+		t.Fatalf("OnEarlyStop reported planned=%d, want %d (or never fired)", serial.planned, restarts)
+	}
+	if serial.consumed <= 0 || serial.consumed >= restarts {
+		t.Fatalf("consumed %d restarts, want a strict cut of %d", serial.consumed, restarts)
+	}
+	for _, workers := range []int{4, 8} {
+		parallel := run(workers)
+		if parallel.consumed != serial.consumed {
+			t.Errorf("workers=%d consumed %d restarts, serial consumed %d",
+				workers, parallel.consumed, serial.consumed)
+		}
+		if !reflect.DeepEqual(serial.result, parallel.result) {
+			t.Errorf("workers=%d early-stopped result diverged from serial", workers)
+		}
+	}
+	// The early-stopped result must equal the fixed best over the consumed
+	// prefix alone.
+	opts := DefaultOptions(3)
+	opts.Seed = 9
+	opts.Restarts = serial.consumed
+	prefix := runSSPC(t, gt, opts)
+	if !reflect.DeepEqual(serial.result, prefix) {
+		t.Fatal("early-stopped result differs from the fixed best over the consumed prefix")
+	}
+}
+
+type resultAndStop struct {
+	result   interface{}
+	consumed int
+	planned  int
+}
+
+// TestChunkSizeInvariance: the chunked assignment must produce byte-identical
+// results for any chunk size, with single and many intra-restart workers
+// (Restarts=1 routes the whole worker budget inside the restart). Run under
+// -race in CI, this also proves the chunk workers share no mutable state.
+func TestChunkSizeInvariance(t *testing.T) {
+	gt := generate(t, synth.Config{N: 150, D: 20, K: 3, AvgDims: 5, Seed: 72})
+	run := func(chunkSize, workers int, scheme ThresholdScheme) interface{} {
+		opts := DefaultOptions(3)
+		opts.Scheme = scheme
+		if scheme == SchemeP {
+			opts.P = 0.1
+		}
+		opts.Seed = 11
+		opts.ChunkSize = chunkSize
+		opts.Workers = workers
+		return runSSPC(t, gt, opts)
+	}
+	for _, scheme := range []ThresholdScheme{SchemeM, SchemeP} {
+		base := run(0, 1, scheme)
+		for _, chunkSize := range []int{1, 3, 17, 64, 1 << 20} {
+			for _, workers := range []int{1, 8} {
+				if got := run(chunkSize, workers, scheme); !reflect.DeepEqual(base, got) {
+					t.Errorf("scheme %v: ChunkSize=%d Workers=%d diverged from the default serial run",
+						scheme, chunkSize, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestIntraWorkersSplit documents the worker-budget split between concurrent
+// restarts and the chunked loops inside each restart.
+func TestIntraWorkersSplit(t *testing.T) {
+	cases := []struct {
+		workers, restarts, want int
+	}{
+		{1, 1, 1},   // serial stays serial
+		{8, 1, 8},   // single restart gets the whole budget
+		{8, 8, 1},   // enough restarts to fill the budget across
+		{8, 2, 4},   // split evenly
+		{8, 3, 3},   // ceil division: no stranded workers
+		{8, 5, 2},   // ceil division again
+		{2, 100, 1}, // more restarts than workers
+	}
+	for _, c := range cases {
+		if got := intraWorkers(c.workers, c.restarts); got != c.want {
+			t.Errorf("intraWorkers(%d, %d) = %d, want %d", c.workers, c.restarts, got, c.want)
+		}
+	}
+}

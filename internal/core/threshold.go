@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/stats"
@@ -10,12 +11,15 @@ import (
 // thresholds computes the selection thresholds ŝ²_ij of §4.1. Under scheme
 // m the threshold is m·s²_j, independent of the cluster. Under scheme p it
 // is s²_j·χ²_inv(p, n_i−1)/(n_i−1), which depends on the cluster size n_i;
-// the chi-square factor is cached per size.
+// the chi-square factor is cached per size. The cache is mutex-guarded so
+// the chunked assignment step may evaluate clusters of different sizes
+// concurrently; everything else here is immutable after construction.
 type thresholds struct {
 	scheme    ThresholdScheme
 	m, p      float64
 	globalVar []float64 // s²_j per dimension
 
+	mu          sync.Mutex
 	factorCache map[int]float64 // scheme p: n_i -> χ²_inv(p, n−1)/(n−1)
 }
 
@@ -39,6 +43,8 @@ func (t *thresholds) factor(ni int) float64 {
 	if ni < 2 {
 		ni = 2
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if f, ok := t.factorCache[ni]; ok {
 		return f
 	}

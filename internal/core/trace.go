@@ -51,8 +51,23 @@ type Trace struct {
 	// OnIteration is called after every iteration of every restart. The
 	// stats value is owned by the callback (slices are fresh copies).
 	OnIteration func(IterationStats)
+	// OnEarlyStop is called at most once per Run, when EarlyStop > 0 cut
+	// the restart stream short: consumed restarts actually contributed to
+	// the result, planned is Options.Restarts.
+	OnEarlyStop func(consumed, planned int)
 
 	mu sync.Mutex
+}
+
+// emitEarlyStop reports that the restart stream stopped after `consumed` of
+// `planned` restarts because the objective plateaued.
+func (t *Trace) emitEarlyStop(consumed, planned int) {
+	if t == nil || t.OnEarlyStop == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.OnEarlyStop(consumed, planned)
 }
 
 // emitInit reports the created seed groups of one restart.

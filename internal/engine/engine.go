@@ -140,6 +140,215 @@ func Run[R any](ctx context.Context, n, workers int, seed int64, fn func(restart
 	return results, nil
 }
 
+// Stream executes fn for restarts 0..n-1 like Run, but launches restarts
+// lazily and stops early once the incumbent best result has not improved for
+// `plateau` consecutive restarts. It returns the prefix of per-restart
+// results that was actually consumed (always at least min(plateau+1, n)
+// long on success).
+//
+// The early-stop decision is taken in restart-index order: after consuming
+// restart r, the stream ends iff none of restarts bestIdx+1..r improved on
+// the incumbent best at bestIdx and r-bestIdx >= plateau. Workers may
+// compute restarts beyond the stop point speculatively; those results are
+// discarded, never reduced. The consumed prefix is therefore a pure
+// function of (n, seed, plateau, fn) — byte-identical for every worker
+// count — and `better` must be a pure function of its arguments.
+//
+// plateau <= 0 disables early stopping: Stream degenerates to Run exactly
+// (all n restarts, identical results slice). Errors follow Run's contract:
+// the recorded failure with the lowest restart index wins, wrapped with that
+// index, except that failures beyond the stop point are discarded with the
+// results.
+func Stream[R any](ctx context.Context, n, workers int, seed int64, plateau int,
+	better func(a, b R) bool, fn func(restart int, rng *stats.RNG) (R, error)) ([]R, error) {
+	if plateau <= 0 {
+		return Run(ctx, n, workers, seed, fn)
+	}
+	if fn == nil {
+		return nil, errors.New("engine: nil restart function")
+	}
+	if better == nil {
+		return nil, errors.New("engine: nil better predicate")
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = DefaultWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	if workers == 1 {
+		var results []R
+		bestIdx := 0
+		for r := 0; r < n; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res, err := fn(r, stats.NewRNG(ChildSeed(seed, r)))
+			if err != nil {
+				return nil, fmt.Errorf("engine: restart %d: %w", r, err)
+			}
+			results = append(results, res)
+			if r > 0 && better(res, results[bestIdx]) {
+				bestIdx = r
+			}
+			if r-bestIdx >= plateau {
+				break
+			}
+		}
+		return results, nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]R, n)
+	errs := make([]error, n)
+	done := make([]chan struct{}, n)
+	for r := range done {
+		done[r] = make(chan struct{})
+	}
+
+	// Producers take one launch token per restart; the consumer issues one
+	// more per consumed slot. That caps the speculative overhang at
+	// workers+plateau restarts beyond the stop point, so cheap restart
+	// functions cannot race through the whole schedule before the stream
+	// decides to stop — restarts genuinely launch lazily.
+	lookahead := workers + plateau
+	if lookahead > n {
+		lookahead = n
+	}
+	tokens := make(chan struct{}, lookahead+n)
+	for i := 0; i < lookahead; i++ {
+		tokens <- struct{}{}
+	}
+	stopCh := make(chan struct{})
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopCh:
+					return
+				case <-runCtx.Done():
+					return
+				case <-tokens:
+				}
+				r := int(next.Add(1)) - 1
+				if r >= n {
+					return
+				}
+				res, err := fn(r, stats.NewRNG(ChildSeed(seed, r)))
+				if err != nil {
+					errs[r] = err
+				} else {
+					results[r] = res
+				}
+				close(done[r])
+			}
+		}()
+	}
+
+	// Consume slots in restart-index order so the stop decision (and the
+	// returned prefix) cannot depend on completion order.
+	consumed := 0
+	bestIdx := 0
+	var firstErr error
+	for r := 0; r < n; r++ {
+		select {
+		case <-done[r]:
+		case <-ctx.Done():
+			close(stopCh)
+			cancel()
+			wg.Wait()
+			return nil, ctx.Err()
+		}
+		if errs[r] != nil {
+			firstErr = fmt.Errorf("engine: restart %d: %w", r, errs[r])
+			break
+		}
+		consumed = r + 1
+		tokens <- struct{}{}
+		if r > 0 && better(results[r], results[bestIdx]) {
+			bestIdx = r
+		}
+		if r-bestIdx >= plateau {
+			break
+		}
+	}
+	close(stopCh)
+	cancel()
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results[:consumed:consumed], nil
+}
+
+// ParallelChunks splits [0, total) into contiguous ranges of chunkSize
+// elements (the last one shorter) and runs fn over them on up to `workers`
+// goroutines. Chunk boundaries depend only on chunkSize, never on the worker
+// count, so a caller whose fn writes exclusively to its own [lo, hi) output
+// region produces byte-identical results for every workers value — the
+// invariant the intra-restart assignment step is built on.
+//
+// fn also receives a worker slot index in [0, workers) that is stable for
+// the duration of the call, so callers can hand each worker its own scratch
+// buffers. Slot assignment is scheduling-dependent; fn must use the slot for
+// scratch only, never to influence output values. workers <= 1 or
+// total <= chunkSize runs everything inline on slot 0.
+func ParallelChunks(total, chunkSize, workers int, fn func(worker, lo, hi int)) {
+	if total <= 0 {
+		return
+	}
+	if chunkSize <= 0 {
+		chunkSize = total
+	}
+	if workers <= 1 || total <= chunkSize {
+		for lo := 0; lo < total; lo += chunkSize {
+			hi := lo + chunkSize
+			if hi > total {
+				hi = total
+			}
+			fn(0, lo, hi)
+		}
+		return
+	}
+	chunks := (total + chunkSize - 1) / chunkSize
+	if workers > chunks {
+		workers = chunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * chunkSize
+				hi := lo + chunkSize
+				if hi > total {
+					hi = total
+				}
+				fn(worker, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // Best returns the index of the best element under the strict `better`
 // predicate. Ties keep the lowest index, so the selection is deterministic
 // and independent of how the results were produced. It returns -1 for an

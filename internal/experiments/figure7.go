@@ -96,7 +96,7 @@ func Figure7(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := bestOf(cfg.Repeats, cfg.Workers, cfg.Seed, func(s int64) (*cluster.Result, error) {
+		res, err := bestOf(cfg.Repeats, cfg.Workers, cfg.EarlyStop, cfg.Seed, func(s int64) (*cluster.Result, error) {
 			opts := core.DefaultOptions(k)
 			opts.M = 0.5
 			opts.Knowledge = kn

@@ -21,7 +21,7 @@ func ariOf(gt *synth.GroundTruth, res *cluster.Result) (float64, error) {
 // sspcBest runs SSPC best-of-repeats (by φ) for one parameter value.
 func sspcBest(gt *synth.GroundTruth, k int, scheme core.ThresholdScheme, param float64,
 	kn *dataset.Knowledge, cfg Config) (*cluster.Result, error) {
-	return bestOf(cfg.Repeats, cfg.Workers, cfg.Seed, func(s int64) (*cluster.Result, error) {
+	return bestOf(cfg.Repeats, cfg.Workers, cfg.EarlyStop, cfg.Seed, func(s int64) (*cluster.Result, error) {
 		opts := core.DefaultOptions(k)
 		opts.Scheme = scheme
 		if scheme == core.SchemeM {
@@ -37,7 +37,7 @@ func sspcBest(gt *synth.GroundTruth, k int, scheme core.ThresholdScheme, param f
 
 // proclusBest runs PROCLUS best-of-repeats (by its cost) for one l.
 func proclusBest(gt *synth.GroundTruth, k, l int, cfg Config) (*cluster.Result, error) {
-	return bestOf(cfg.Repeats, cfg.Workers, cfg.Seed, func(s int64) (*cluster.Result, error) {
+	return bestOf(cfg.Repeats, cfg.Workers, cfg.EarlyStop, cfg.Seed, func(s int64) (*cluster.Result, error) {
 		opts := proclus.DefaultOptions(k, l)
 		opts.Seed = s
 		return proclus.Run(gt.Data, opts)
@@ -125,7 +125,7 @@ func Figure3(cfg Config) (*Table, error) {
 		lreal := lreal
 		err = parallelCells(cfg.Workers,
 			func() error {
-				clr, err := bestOf(inner.Repeats, inner.Workers, inner.Seed, func(s int64) (*cluster.Result, error) {
+				clr, err := bestOf(inner.Repeats, inner.Workers, inner.EarlyStop, inner.Seed, func(s int64) (*cluster.Result, error) {
 					opts := clarans.DefaultOptions(k)
 					opts.Seed = s
 					return clarans.Run(gt.Data, opts)

@@ -21,7 +21,7 @@ func TestBestOfWorkersInvariance(t *testing.T) {
 	}
 	run := func(workers int) *cluster.Result {
 		t.Helper()
-		res, err := bestOf(4, workers, 7, func(s int64) (*cluster.Result, error) {
+		res, err := bestOf(4, workers, 0, 7, func(s int64) (*cluster.Result, error) {
 			opts := clarans.DefaultOptions(2)
 			opts.Seed = s
 			opts.MaxNeighbor = 40
@@ -44,7 +44,7 @@ func TestBestOfWorkersInvariance(t *testing.T) {
 // silently shrinking the protocol.
 func TestBestOfPropagatesError(t *testing.T) {
 	sentinel := errors.New("cell failed")
-	_, err := bestOf(4, 2, 0, func(s int64) (*cluster.Result, error) {
+	_, err := bestOf(4, 2, 0, 0, func(s int64) (*cluster.Result, error) {
 		if s == 2 {
 			return nil, sentinel
 		}

@@ -27,16 +27,28 @@
 //   - Workers: the maximum number of restarts executed concurrently; <= 0
 //     means runtime.GOMAXPROCS(0).
 //
+// SSPC additionally parallelizes inside each restart and can stream its
+// restarts adaptively:
+//
+//   - Workers beyond the restart count are spent on the O(n·K·|V|)
+//     assignment step, chunked over fixed point ranges (Options.ChunkSize
+//     objects per chunk; any value gives identical output).
+//   - Options.EarlyStop > 0 launches restarts lazily and stops once the
+//     best objective φ has not improved for that many consecutive restarts,
+//     with Restarts as the hard cap. EarlyStop = 0 (the default) runs the
+//     fixed best-of-Restarts protocol.
+//
 // Results are a pure function of (dataset, options): restart r derives its
-// RNG from a splitmix-style child of Options.Seed, results are reduced in
-// restart order, and ties keep the lowest restart — so Workers = 1 and
-// Workers = N produce byte-identical Results, and a single-restart run
-// reproduces the historical serial output for the same Seed. Datasets are
-// safe for any number of concurrent readers; concurrent Cluster calls may
-// share one *Dataset.
+// RNG from a splitmix-style child of Options.Seed, results — and the
+// early-stop decision — are reduced in restart order, and ties keep the
+// lowest restart — so Workers = 1 and Workers = N produce byte-identical
+// Results, and a single-restart run reproduces the historical serial output
+// for the same Seed. Datasets are safe for any number of concurrent
+// readers; concurrent Cluster calls may share one *Dataset.
 //
 //	opts := sspc.DefaultOptions(4)
 //	opts.Restarts = 8 // 8 restarts, all CPUs, same answer as Workers=1
+//	opts.EarlyStop = 3 // stop early once φ plateaus for 3 restarts
 //	res, _ := sspc.Cluster(gt.Data, opts)
 //
 // The subpackages under internal/ hold the implementations; this package is
