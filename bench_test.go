@@ -141,7 +141,7 @@ func BenchmarkClusterParallel(b *testing.B) {
 // restart (Restarts=1 routes the whole worker budget into the chunked
 // assignment and dimension re-selection loops) at 1/2/4/8 workers, plus the
 // chunk-granularity sweep at 8 workers. The Result is byte-identical across
-// every sub-benchmark (pinned by TestGoldenChunkedAssignment); only
+// every sub-benchmark (pinned by TestConformanceChunkSizeInvariance); only
 // wall-clock time changes — run on multi-core hardware for the speedup
 // curve, single-core CI only tracks the serial baseline.
 func BenchmarkAssignChunked(b *testing.B) {
@@ -178,6 +178,63 @@ func BenchmarkExperimentsParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 				if _, err := t.WriteTo(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The *Chunked benchmarks below measure the intra-restart chunked loops of
+// the baselines at 1/2/4/8 workers: Restarts=1 routes the whole worker
+// budget into each algorithm's chunked point loops (PROCLUS assignment /
+// refinement / outlier passes, DOC box-membership scans, HARP per-node
+// merge-proposal scans). Results are byte-identical across every
+// sub-benchmark (pinned by TestConformanceChunkSizeInvariance); only
+// wall-clock time changes. Single-core CI caveat: the CI container has one
+// core, so these curves are flat there (worker scheduling overhead only) —
+// run on multi-core hardware for the actual speedup numbers.
+
+func BenchmarkProclusChunked(b *testing.B) {
+	gt := benchGroundTruth(b, 2000, 100, 5, 10)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := PROCLUSDefaults(5, 10)
+				opts.Seed = 42
+				opts.Workers = workers
+				if _, err := PROCLUS(gt.Data, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDOCChunked(b *testing.B) {
+	gt := benchGroundTruth(b, 600, 30, 3, 8)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := DOCDefaults(3, 15)
+				opts.Seed = 42
+				opts.Workers = workers
+				if _, err := DOC(gt.Data, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHARPChunked(b *testing.B) {
+	gt := benchGroundTruth(b, 400, 50, 4, 10)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := HARPDefaults(4)
+				opts.Workers = workers
+				if _, err := HARP(gt.Data, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -27,10 +27,11 @@ func main() {
 		seed    = flag.Int64("seed", 1, "master random seed")
 		workers = flag.Int("workers", 0, "concurrent (algorithm × dataset × seed) cells; 0 = GOMAXPROCS. Tables are identical for every value")
 		early   = flag.Int("earlystop", 0, "stop each best-of-repeats protocol once its objective has not improved for this many consecutive repeats; -repeats stays the cap. 0 = paper's fixed-repeat protocol")
+		chunk   = flag.Int("chunk", 0, "objects (harp: nodes) per intra-restart chunk in every algorithm's chunked loops; 0 = per-algorithm defaults. Tables are identical for every value")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Repeats: *repeats, Scale: *scale, Seed: *seed, Workers: *workers, EarlyStop: *early}
+	cfg := experiments.Config{Repeats: *repeats, Scale: *scale, Seed: *seed, Workers: *workers, EarlyStop: *early, ChunkSize: *chunk}
 
 	type figure struct {
 		id  string

@@ -49,9 +49,9 @@ func main() {
 		w         = flag.Float64("w", 0, "DOC box half-width (required for doc)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		restarts  = flag.Int("restarts", 0, "independent randomized restarts; best result by the algorithm's objective wins. 0 = algorithm default (1; clarans: numlocal 2)")
-		workers   = flag.Int("workers", 0, "concurrent restarts (spare workers parallelize inside each SSPC restart); 0 = all CPUs. Never changes the result, only the wall-clock time")
-		earlyStop = flag.Int("earlystop", 0, "SSPC only: stop streaming restarts once the objective has not improved for this many consecutive restarts; -restarts stays the cap. 0 = run all restarts")
-		chunk     = flag.Int("chunk", 0, "SSPC only: objects per intra-restart assignment chunk; 0 = default (512). Any value gives identical output")
+		workers   = flag.Int("workers", 0, "concurrent restarts (spare workers parallelize each algorithm's chunked loops inside a restart); 0 = all CPUs. Never changes the result, only the wall-clock time")
+		earlyStop = flag.Int("earlystop", 0, "sspc/proclus/doc: stop streaming restarts once the objective has not improved for this many consecutive restarts; -restarts stays the cap. 0 = run all restarts")
+		chunk     = flag.Int("chunk", 0, "objects (harp: nodes) per intra-restart chunk; 0 = algorithm default. Any value gives identical output")
 		knowledge = flag.String("knowledge", "", "knowledge file for SSPC (object/dim labels)")
 		normalize = flag.String("normalize", "none", "preprocessing: none | zscore | minmax | robust")
 		validate  = flag.Bool("validate", false, "validate knowledge and drop suspect entries before clustering (SSPC only)")
@@ -142,11 +142,14 @@ func main() {
 		opts.Seed = *seed
 		opts.Restarts = *restarts
 		opts.Workers = *workers
+		opts.EarlyStop = *earlyStop
+		opts.ChunkSize = *chunk
 		res, err = proclus.Run(ds, opts)
 	case "harp":
 		opts := harp.DefaultOptions(*k)
 		opts.Restarts = *restarts
 		opts.Workers = *workers
+		opts.ChunkSize = *chunk
 		// With seed 0, restart 0 stays on HARP's canonical deterministic
 		// scan order and only the extra restarts draw randomized orders —
 		// so more restarts can never lose to fewer. An explicit nonzero
@@ -161,6 +164,7 @@ func main() {
 		opts.Seed = *seed
 		opts.Restarts = *restarts
 		opts.Workers = *workers
+		opts.ChunkSize = *chunk
 		res, err = clarans.Run(ds, opts)
 	case "doc":
 		if *w <= 0 {
@@ -170,6 +174,8 @@ func main() {
 		opts.Seed = *seed
 		opts.Restarts = *restarts
 		opts.Workers = *workers
+		opts.EarlyStop = *earlyStop
+		opts.ChunkSize = *chunk
 		res, err = doc.Run(ds, opts)
 	default:
 		fail(fmt.Errorf("unknown algorithm %q", *algo))

@@ -1,0 +1,267 @@
+package sspc
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The cross-algorithm determinism conformance suite: one table of drivers,
+// one assertion per contract leg, applied uniformly to all five algorithms
+// (SSPC, PROCLUS, CLARANS, DOC, HARP). It replaces the near-duplicate
+// per-package parallel_test.go copies — a new parallel path inherits its
+// safety net by adding a row here, not by re-inventing the tests.
+//
+// The legs (see ARCHITECTURE.md, "The determinism contract"):
+//
+//  1. restart-0 ≡ base-seed: a single-restart run through the engine
+//     reproduces the pinned pre-engine serial fingerprint.
+//  2. Workers invariance: Workers = 8 is byte-identical to Workers = 1.
+//  3. ChunkSize invariance: every (ChunkSize, Workers) combination of the
+//     intra-restart chunked loops reproduces the same golden pin — the
+//     chunked path is byte-identical to the pre-chunking serial loop.
+//  4. EarlyStop off / un-triggerable windows reproduce the fixed
+//     best-of-Restarts protocol (algorithms with a streaming knob).
+//  5. More restarts never worsen the best score under a fixed seed split.
+//  6. A *Dataset is safe for concurrent readers: independent Run calls of
+//     every algorithm may share one dataset (meaningful under -race).
+
+// confRun carries the engine knobs a conformance driver forwards.
+type confRun struct {
+	seed      int64
+	restarts  int
+	workers   int
+	chunkSize int
+	earlyStop int
+}
+
+// confAlgo is one row of the conformance table.
+type confAlgo struct {
+	name string
+	// golden pins the pre-engine serial output on detFixture at goldenSeed —
+	// the single authoritative copy of the fingerprints, captured at the
+	// commit that introduced internal/engine. An intentional algorithm
+	// change re-captures them and says so in the commit.
+	golden     string
+	goldenSeed int64
+	restarts   int  // multi-restart count for the invariance legs
+	earlyStop  bool // has a streaming EarlyStop knob
+	run        func(gt *GroundTruth, r confRun) (*Result, error)
+}
+
+func conformanceAlgos() []confAlgo {
+	return []confAlgo{
+		{
+			name: "SSPC", golden: "5c33774cfd995ba7 score=0.176140223125",
+			goldenSeed: 5, restarts: 6, earlyStop: true,
+			run: func(gt *GroundTruth, r confRun) (*Result, error) {
+				opts := DefaultOptions(3)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				opts.EarlyStop = r.earlyStop
+				return Cluster(gt.Data, opts)
+			},
+		},
+		{
+			name: "PROCLUS", golden: "806061b7eb1d1ee0 score=4.3429625545",
+			goldenSeed: 7, restarts: 6, earlyStop: true,
+			run: func(gt *GroundTruth, r confRun) (*Result, error) {
+				opts := PROCLUSDefaults(3, 6)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				opts.EarlyStop = r.earlyStop
+				return PROCLUS(gt.Data, opts)
+			},
+		},
+		{
+			name: "CLARANS", golden: "18464aced1dab249 score=33501.7748117",
+			goldenSeed: 9, restarts: 4,
+			run: func(gt *GroundTruth, r confRun) (*Result, error) {
+				opts := CLARANSDefaults(3)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				return CLARANS(gt.Data, opts)
+			},
+		},
+		{
+			name: "DOC", golden: "898ce57dcac9acc8 score=34.9990990861",
+			goldenSeed: 11, restarts: 4, earlyStop: true,
+			run: func(gt *GroundTruth, r confRun) (*Result, error) {
+				opts := DOCDefaults(3, 15)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				opts.EarlyStop = r.earlyStop
+				return DOC(gt.Data, opts)
+			},
+		},
+		{
+			name: "HARP", golden: "f1b9c1627ce202c5 score=16.5321083411",
+			goldenSeed: 0, restarts: 4,
+			run: func(gt *GroundTruth, r confRun) (*Result, error) {
+				opts := HARPDefaults(3)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				return HARP(gt.Data, opts)
+			},
+		},
+	}
+}
+
+// TestConformanceRestartZeroBaseSeed: restart 0 reuses the base seed
+// unchanged, so a Restarts = 1 run through the engine reproduces the pinned
+// pre-engine serial output bit for bit.
+func TestConformanceRestartZeroBaseSeed(t *testing.T) {
+	gt := detFixture(t)
+	for _, a := range conformanceAlgos() {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			res, err := a.run(gt, confRun{seed: a.goldenSeed, restarts: 1, workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(res); got != a.golden {
+				t.Errorf("fingerprint = %s, want %s", got, a.golden)
+			}
+		})
+	}
+}
+
+// TestConformanceWorkersInvariance: a multi-restart run with Workers = 8
+// returns a Result byte-identical to Workers = 1 under the same seed.
+func TestConformanceWorkersInvariance(t *testing.T) {
+	gt := detFixture(t)
+	for _, a := range conformanceAlgos() {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			serial, err := a.run(gt, confRun{seed: 3, restarts: a.restarts, workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := a.run(gt, confRun{seed: 3, restarts: a.restarts, workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("Workers=8 diverged from Workers=1:\n  1: %s\n  8: %s",
+					fingerprint(serial), fingerprint(parallel))
+			}
+		})
+	}
+}
+
+// TestConformanceChunkSizeInvariance pins the intra-restart chunked loops:
+// every (ChunkSize, Workers) combination reproduces the exact golden
+// fingerprint of the pre-chunking serial path. Restarts = 1 routes the whole
+// worker budget into the chunked loops, so Workers = 8 exercises the
+// parallel branch of every loop.
+func TestConformanceChunkSizeInvariance(t *testing.T) {
+	gt := detFixture(t)
+	for _, a := range conformanceAlgos() {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			for _, chunkSize := range []int{1, 7, 512, 1 << 20} {
+				for _, workers := range []int{1, 8} {
+					res, err := a.run(gt, confRun{
+						seed: a.goldenSeed, restarts: 1,
+						workers: workers, chunkSize: chunkSize,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := fingerprint(res); got != a.golden {
+						t.Errorf("ChunkSize=%d Workers=%d: fingerprint = %s, want %s",
+							chunkSize, workers, got, a.golden)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceEarlyStopCapReproducesFixed: for the streaming algorithms,
+// EarlyStop = Restarts (a plateau window that can never trigger) reproduces
+// the fixed best-of-Restarts Result byte for byte, at every worker count.
+func TestConformanceEarlyStopCapReproducesFixed(t *testing.T) {
+	gt := detFixture(t)
+	for _, a := range conformanceAlgos() {
+		a := a
+		if !a.earlyStop {
+			continue
+		}
+		t.Run(a.name, func(t *testing.T) {
+			fixed, err := a.run(gt, confRun{seed: 3, restarts: a.restarts, workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 8} {
+				streamed, err := a.run(gt, confRun{
+					seed: 3, restarts: a.restarts, workers: workers, earlyStop: a.restarts,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(fixed, streamed) {
+					t.Errorf("EarlyStop=%d Workers=%d diverged from the fixed-restarts run",
+						a.restarts, workers)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceMoreRestartsNeverWorse: the best-of reduction can only
+// improve (or keep) the best score as restarts are added under a fixed seed
+// split, whatever direction the algorithm's objective runs.
+func TestConformanceMoreRestartsNeverWorse(t *testing.T) {
+	gt := detFixture(t)
+	for _, a := range conformanceAlgos() {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			single, err := a.run(gt, confRun{seed: 2, restarts: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			multi, err := a.run(gt, confRun{seed: 2, restarts: a.restarts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if single.Better(single.Score, multi.Score) {
+				t.Errorf("best of %d restarts (%v) worse than restart 0 alone (%v)",
+					a.restarts, multi.Score, single.Score)
+			}
+		})
+	}
+}
+
+// TestConformanceConcurrentSharedDataset races independent Run calls of all
+// five algorithms against each other on one shared *Dataset (run under
+// -race in CI): datasets must be safe for concurrent readers, including the
+// lazily computed column statistics every algorithm touches.
+func TestConformanceConcurrentSharedDataset(t *testing.T) {
+	gt := detFixture(t)
+	var wg sync.WaitGroup
+	for _, a := range conformanceAlgos() {
+		a := a
+		for i := 0; i < 3; i++ {
+			seed := int64(i)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := a.run(gt, confRun{seed: seed, restarts: 2}); err != nil {
+					t.Errorf("%s: %v", a.name, err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+}

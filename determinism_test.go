@@ -3,8 +3,6 @@ package sspc
 import (
 	"fmt"
 	"hash/fnv"
-	"reflect"
-	"sync"
 	"testing"
 )
 
@@ -35,195 +33,12 @@ func detFixture(t testing.TB) *GroundTruth {
 	return gt
 }
 
-// TestGoldenSerialEquivalence pins the exact output of the pre-engine serial
-// implementations (captured at the commit that introduced internal/engine):
-// a single restart through the engine must be byte-identical to the
-// historical serial path for the same seed, because restart 0 reuses the
-// base seed unchanged. If an intentional algorithm change breaks these,
-// re-capture the fingerprints and say so in the commit.
-func TestGoldenSerialEquivalence(t *testing.T) {
-	gt := detFixture(t)
-
-	t.Run("SSPC", func(t *testing.T) {
-		opts := DefaultOptions(3)
-		opts.Seed = 5
-		res, err := Cluster(gt.Data, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		const want = "5c33774cfd995ba7 score=0.176140223125"
-		if got := fingerprint(res); got != want {
-			t.Errorf("fingerprint = %s, want %s", got, want)
-		}
-	})
-	t.Run("PROCLUS", func(t *testing.T) {
-		opts := PROCLUSDefaults(3, 6)
-		opts.Seed = 7
-		res, err := PROCLUS(gt.Data, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		const want = "806061b7eb1d1ee0 score=4.3429625545"
-		if got := fingerprint(res); got != want {
-			t.Errorf("fingerprint = %s, want %s", got, want)
-		}
-	})
-	t.Run("CLARANS", func(t *testing.T) {
-		opts := CLARANSDefaults(3)
-		opts.NumLocal = 1 // the serial path interleaved one RNG across locals
-		opts.Seed = 9
-		res, err := CLARANS(gt.Data, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		const want = "18464aced1dab249 score=33501.7748117"
-		if got := fingerprint(res); got != want {
-			t.Errorf("fingerprint = %s, want %s", got, want)
-		}
-	})
-	t.Run("DOC", func(t *testing.T) {
-		opts := DOCDefaults(3, 15)
-		opts.Seed = 11
-		res, err := DOC(gt.Data, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		const want = "898ce57dcac9acc8 score=34.9990990861"
-		if got := fingerprint(res); got != want {
-			t.Errorf("fingerprint = %s, want %s", got, want)
-		}
-	})
-	t.Run("HARP", func(t *testing.T) {
-		res, err := HARP(gt.Data, HARPDefaults(3))
-		if err != nil {
-			t.Fatal(err)
-		}
-		const want = "f1b9c1627ce202c5 score=16.5321083411"
-		if got := fingerprint(res); got != want {
-			t.Errorf("fingerprint = %s, want %s", got, want)
-		}
-	})
-}
-
-// TestWorkerCountInvariance is the engine's headline guarantee at the public
-// API: for every algorithm, a multi-restart run with Workers = 8 returns a
-// Result byte-identical to Workers = 1 under the same seed.
-func TestWorkerCountInvariance(t *testing.T) {
-	gt := detFixture(t)
-
-	runBoth := func(t *testing.T, run func(workers int) (*Result, error)) {
-		t.Helper()
-		serial, err := run(1)
-		if err != nil {
-			t.Fatal(err)
-		}
-		parallel, err := run(8)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(serial, parallel) {
-			t.Errorf("Workers=8 diverged from Workers=1:\n  1: %s\n  8: %s",
-				fingerprint(serial), fingerprint(parallel))
-		}
-	}
-
-	t.Run("SSPC", func(t *testing.T) {
-		runBoth(t, func(workers int) (*Result, error) {
-			opts := DefaultOptions(3)
-			opts.Seed = 3
-			opts.Restarts = 6
-			opts.Workers = workers
-			return Cluster(gt.Data, opts)
-		})
-	})
-	t.Run("PROCLUS", func(t *testing.T) {
-		runBoth(t, func(workers int) (*Result, error) {
-			opts := PROCLUSDefaults(3, 6)
-			opts.Seed = 3
-			opts.Restarts = 6
-			opts.Workers = workers
-			return PROCLUS(gt.Data, opts)
-		})
-	})
-	t.Run("CLARANS", func(t *testing.T) {
-		runBoth(t, func(workers int) (*Result, error) {
-			opts := CLARANSDefaults(3)
-			opts.Seed = 3
-			opts.Restarts = 4
-			opts.MaxNeighbor = 80
-			opts.Workers = workers
-			return CLARANS(gt.Data, opts)
-		})
-	})
-	t.Run("DOC", func(t *testing.T) {
-		runBoth(t, func(workers int) (*Result, error) {
-			opts := DOCDefaults(3, 15)
-			opts.Seed = 3
-			opts.Restarts = 4
-			opts.Workers = workers
-			return DOC(gt.Data, opts)
-		})
-	})
-	t.Run("HARP", func(t *testing.T) {
-		runBoth(t, func(workers int) (*Result, error) {
-			opts := HARPDefaults(3)
-			opts.Seed = 3
-			opts.Restarts = 4
-			opts.Workers = workers
-			return HARP(gt.Data, opts)
-		})
-	})
-}
-
-// TestGoldenChunkedAssignment pins the intra-restart parallelism contract at
-// the public API: the chunked assignment step reproduces the exact golden
-// fingerprint of the pre-chunking serial loop for every (ChunkSize, Workers)
-// combination — the same pin TestGoldenSerialEquivalence holds for SSPC.
-func TestGoldenChunkedAssignment(t *testing.T) {
-	gt := detFixture(t)
-	const want = "5c33774cfd995ba7 score=0.176140223125" // = the SSPC golden pin
-	for _, chunkSize := range []int{1, 7, 512, 1 << 20} {
-		for _, workers := range []int{1, 8} {
-			opts := DefaultOptions(3)
-			opts.Seed = 5
-			opts.ChunkSize = chunkSize
-			opts.Workers = workers // Restarts=1, so the budget goes intra-restart
-			res, err := Cluster(gt.Data, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got := fingerprint(res); got != want {
-				t.Errorf("ChunkSize=%d Workers=%d: fingerprint = %s, want %s",
-					chunkSize, workers, got, want)
-			}
-		}
-	}
-}
-
-// TestEarlyStopOffReproducesFixedRestarts pins streaming-off compatibility at
-// the public API: EarlyStop = 0 and a window that can never trigger both
-// reproduce the fixed best-of-Restarts Result byte for byte.
-func TestEarlyStopOffReproducesFixedRestarts(t *testing.T) {
-	gt := detFixture(t)
-	run := func(earlyStop, workers int) *Result {
-		opts := DefaultOptions(3)
-		opts.Seed = 3
-		opts.Restarts = 6
-		opts.EarlyStop = earlyStop
-		opts.Workers = workers
-		res, err := Cluster(gt.Data, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res
-	}
-	fixed := run(0, 1)
-	for _, workers := range []int{1, 8} {
-		if got := run(6, workers); !reflect.DeepEqual(fixed, got) {
-			t.Errorf("EarlyStop=6 Workers=%d diverged from the fixed-restarts run", workers)
-		}
-	}
-}
+// The golden fingerprints of the pre-engine serial implementations
+// (captured at the commit that introduced internal/engine) live in the
+// conformance table (conformanceAlgos in conformance_test.go) — one copy,
+// pinned by TestConformanceRestartZeroBaseSeed and re-pinned across the
+// (ChunkSize, Workers) sweep by TestConformanceChunkSizeInvariance. Worker
+// invariance and the EarlyStop-off equivalence are asserted there too.
 
 // TestSeedsProduceDifferentClusterings checks the flip side: the seed is
 // not a decoration. Two runs with different seeds must explore different
@@ -295,62 +110,6 @@ func TestSeedsProduceDifferentClusterings(t *testing.T) {
 	})
 }
 
-// TestConcurrentClusterSharedDataset races all five algorithms against each
-// other on one shared *Dataset (run under -race in CI): datasets must be
-// safe for concurrent readers, including the lazily computed column
-// statistics.
-func TestConcurrentClusterSharedDataset(t *testing.T) {
-	gt := detFixture(t)
-	var wg sync.WaitGroup
-	for i := 0; i < 3; i++ {
-		seed := int64(i)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			opts := DefaultOptions(3)
-			opts.Seed = seed
-			opts.Restarts = 2
-			if _, err := Cluster(gt.Data, opts); err != nil {
-				t.Errorf("SSPC: %v", err)
-			}
-		}()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			opts := PROCLUSDefaults(3, 6)
-			opts.Seed = seed
-			if _, err := PROCLUS(gt.Data, opts); err != nil {
-				t.Errorf("PROCLUS: %v", err)
-			}
-		}()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			opts := CLARANSDefaults(3)
-			opts.Seed = seed
-			opts.MaxNeighbor = 40
-			if _, err := CLARANS(gt.Data, opts); err != nil {
-				t.Errorf("CLARANS: %v", err)
-			}
-		}()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			opts := DOCDefaults(3, 15)
-			opts.Seed = seed
-			if _, err := DOC(gt.Data, opts); err != nil {
-				t.Errorf("DOC: %v", err)
-			}
-		}()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			opts := HARPDefaults(3)
-			opts.Seed = seed
-			if _, err := HARP(gt.Data, opts); err != nil {
-				t.Errorf("HARP: %v", err)
-			}
-		}()
-	}
-	wg.Wait()
-}
+// The shared-dataset race probe (all five algorithms concurrently on one
+// *Dataset) lives in the conformance suite:
+// TestConformanceConcurrentSharedDataset.

@@ -36,7 +36,17 @@ type Options struct {
 
 	// Workers bounds how many local searches run concurrently; <= 0 means
 	// runtime.GOMAXPROCS(0). The worker count never changes the result.
+	// After the local searches finish, the full budget parallelizes the
+	// final chunked assignment scan.
 	Workers int
+
+	// ChunkSize is the number of objects per unit of work in the chunked
+	// final assignment scan. Chunk boundaries are fixed by this value
+	// alone, so any ChunkSize produces byte-identical output; it only
+	// tunes scheduling granularity. <= 0 means a default of 512. (The
+	// swap-cost loop inside a local search stays serial: its running sum
+	// is order-sensitive floating point.)
+	ChunkSize int
 }
 
 // DefaultOptions returns the paper's recommended parameters.
@@ -91,16 +101,25 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 		iterations += l.iterations
 	}
 
+	// Final assignment: per-point nearest medoid, chunked over fixed point
+	// ranges with disjoint writes — the whole worker budget is free again
+	// once the local searches have finished.
+	chunkSize := opts.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = 512
+	}
 	assign := make([]int, n)
-	for p := 0; p < n; p++ {
-		bestDist := math.Inf(1)
-		for i, m := range best.medoids {
-			if d := ds.EuclideanSq(p, m, nil); d < bestDist {
-				bestDist = d
-				assign[p] = i
+	engine.ParallelChunks(n, chunkSize, engine.DefaultWorkers(opts.Workers), func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			bestDist := math.Inf(1)
+			for i, m := range best.medoids {
+				if d := ds.EuclideanSq(p, m, nil); d < bestDist {
+					bestDist = d
+					assign[p] = i
+				}
 			}
 		}
-	}
+	})
 	res := &cluster.Result{
 		K:                   opts.K,
 		Assignments:         assign,

@@ -2,39 +2,16 @@ package clarans
 
 import (
 	"reflect"
-	"sync"
 	"testing"
 
 	"repro/internal/synth"
 )
 
-// TestParallelLocalsMatchSerial pins the determinism contract: the worker
-// count never changes which local optimum wins.
-func TestParallelLocalsMatchSerial(t *testing.T) {
-	gt, err := synth.Generate(synth.Config{N: 200, D: 10, K: 3, AvgDims: 10, Seed: 80})
-	if err != nil {
-		t.Fatal(err)
-	}
-	run := func(workers int) Options {
-		opts := DefaultOptions(3)
-		opts.Seed = 5
-		opts.NumLocal = 4
-		opts.MaxNeighbor = 80
-		opts.Workers = workers
-		return opts
-	}
-	serial, err := Run(gt.Data, run(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	parallel, err := Run(gt.Data, run(8))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(serial, parallel) {
-		t.Fatal("Workers=8 produced a different Result than Workers=1")
-	}
-}
+// The generic parallelism contract (worker invariance, chunk-size
+// invariance, restart-0 ≡ base-seed, concurrent shared datasets) is asserted
+// for this package by the cross-algorithm conformance suite at the
+// repository root (conformance_test.go). Only the CLARANS-specific spelling
+// of the restart knob is pinned here.
 
 // TestRestartsOverrideNumLocal checks the cross-package Restarts spelling:
 // Restarts = NumLocal must behave identically under the same seed.
@@ -62,28 +39,4 @@ func TestRestartsOverrideNumLocal(t *testing.T) {
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("Restarts=3 diverged from NumLocal=3")
 	}
-}
-
-// TestConcurrentRunsSharedDataset races full Run calls on one Dataset;
-// meaningful under -race.
-func TestConcurrentRunsSharedDataset(t *testing.T) {
-	gt, err := synth.Generate(synth.Config{N: 150, D: 8, K: 3, AvgDims: 8, Seed: 82})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < 6; i++ {
-		seed := int64(i)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			opts := DefaultOptions(3)
-			opts.Seed = seed
-			opts.MaxNeighbor = 40
-			if _, err := Run(gt.Data, opts); err != nil {
-				t.Errorf("seed %d: %v", seed, err)
-			}
-		}()
-	}
-	wg.Wait()
 }

@@ -9,23 +9,30 @@ import (
 // The two inner loops of one SSPC iteration — the point→cluster assignment
 // (Step 3, O(n·K·|V|)) and the per-cluster dimension re-selection (Step 4,
 // O(n·d)) — dominate a restart's runtime. Both are embarrassingly parallel
-// with disjoint writes, so the assigner runs them across a fixed-chunk
-// worker pool: chunk boundaries depend only on ChunkSize, every chunk writes
-// exclusively to its own output slots, and all floating-point accumulation
-// happens either per-point (assignment) or in a serial ordered reduction
-// over cluster indices (evaluation). Workers and ChunkSize therefore tune
-// wall-clock time only; the output is byte-identical to the serial loop.
+// with disjoint writes, so the assigner runs them through the engine's
+// chunked primitives: chunk boundaries depend only on ChunkSize, every chunk
+// writes exclusively to its own output slots, and all floating-point
+// accumulation happens either per-point (assignment) or in a serial ordered
+// reduction over cluster indices (evaluation). Workers and ChunkSize
+// therefore tune wall-clock time only; the output is byte-identical to the
+// serial loop.
+
+// evalScratch is one worker slot's reusable buffers for the dimension
+// re-selection step.
+type evalScratch struct {
+	buf  []float64 // median buffer, len n
+	dims []dimEval // dimension evals, cap d
+}
 
 // assigner holds the worker budget and per-worker scratch of one restart.
 type assigner struct {
 	workers   int
 	chunkSize int
-	bufs      [][]float64 // per worker slot: median buffer, len n
-	scratches [][]dimEval // per worker slot: dimension evals, cap d
+	scratch   *engine.Scratch[*evalScratch]
 	evals     []clusterEval
 }
 
-// newAssigner sizes the scratch buffers for a dataset of n objects and d
+// newAssigner sizes the scratch pool for a dataset of n objects and d
 // dimensions clustered into k clusters, with at most `workers` goroutines
 // per iteration step.
 func newAssigner(n, d, k, workers, chunkSize int) *assigner {
@@ -36,38 +43,14 @@ func newAssigner(n, d, k, workers, chunkSize int) *assigner {
 	if slots > k {
 		slots = k // evaluation has only k units of work
 	}
-	a := &assigner{
+	return &assigner{
 		workers:   workers,
 		chunkSize: chunkSize,
-		bufs:      make([][]float64, slots),
-		scratches: make([][]dimEval, slots),
-		evals:     make([]clusterEval, k),
+		scratch: engine.NewScratch(slots, func() *evalScratch {
+			return &evalScratch{buf: make([]float64, n), dims: make([]dimEval, 0, d)}
+		}),
+		evals: make([]clusterEval, k),
 	}
-	for w := range a.bufs {
-		a.bufs[w] = make([]float64, n)
-		a.scratches[w] = make([]dimEval, 0, d)
-	}
-	return a
-}
-
-// intraWorkers splits the total worker budget between concurrent restarts
-// and the chunked loops inside each restart: with W workers and R restarts,
-// min(W, R) restarts run concurrently and each gets ceil(W / min(W, R))
-// goroutines for its inner loops — rounding up so no part of the budget is
-// stranded when W is not a multiple of R, at the cost of mild peak
-// oversubscription that also keeps cores busy as the restart stream drains.
-// The split is a scheduling heuristic only — any value produces
-// byte-identical results.
-func intraWorkers(workers, restarts int) int {
-	w := engine.DefaultWorkers(workers)
-	concurrent := restarts
-	if concurrent > w {
-		concurrent = w
-	}
-	if concurrent < 1 {
-		concurrent = 1
-	}
-	return (w + concurrent - 1) / concurrent
 }
 
 // assign scores every object against all K candidate clusters and writes the
@@ -104,9 +87,10 @@ func (a *assigner) assign(ds *dataset.Dataset, clusters []*state, sHat [][]float
 // evals[i]; the ordered serial reduction keeps the floating-point sum
 // byte-identical to the serial loop.
 func (a *assigner) evaluate(ds *dataset.Dataset, clusters []*state, thr *thresholds) float64 {
-	engine.ParallelChunks(len(clusters), 1, len(a.bufs), func(worker, lo, hi int) {
+	engine.ParallelChunks(len(clusters), 1, a.scratch.Slots(), func(worker, lo, hi int) {
+		s := a.scratch.Get(worker)
 		for i := lo; i < hi; i++ {
-			a.evals[i] = evaluateCluster(ds, clusters[i].members, thr, a.bufs[worker], a.scratches[worker])
+			a.evals[i] = evaluateCluster(ds, clusters[i].members, thr, s.buf, s.dims)
 		}
 	})
 	total := 0.0

@@ -1,66 +1,17 @@
 package core
 
 import (
-	"reflect"
-	"sync"
 	"testing"
 
 	"repro/internal/synth"
 )
 
-// TestParallelRestartsMatchSerial pins the package-level determinism
-// contract: Workers only changes wall-clock time, never the Result.
-func TestParallelRestartsMatchSerial(t *testing.T) {
-	gt := generate(t, synth.Config{N: 150, D: 20, K: 3, AvgDims: 5, Seed: 60})
-	run := func(workers int) Options {
-		opts := DefaultOptions(3)
-		opts.Seed = 7
-		opts.Restarts = 5
-		opts.Workers = workers
-		return opts
-	}
-	serial := runSSPC(t, gt, run(1))
-	parallel := runSSPC(t, gt, run(8))
-	if !reflect.DeepEqual(serial, parallel) {
-		t.Fatal("Workers=8 produced a different Result than Workers=1")
-	}
-}
-
-// TestRestartsImproveOrKeepScore checks the best-of-restarts reduction:
-// more restarts can only raise the best objective under a fixed seed split.
-func TestRestartsImproveOrKeepScore(t *testing.T) {
-	gt := generate(t, synth.Config{N: 200, D: 30, K: 3, AvgDims: 6, Seed: 61})
-	opts := DefaultOptions(3)
-	opts.Seed = 2
-	opts.Restarts = 1
-	single := runSSPC(t, gt, opts)
-	opts.Restarts = 6
-	multi := runSSPC(t, gt, opts)
-	if multi.Score < single.Score {
-		t.Fatalf("best of 6 restarts (%v) worse than restart 0 alone (%v)", multi.Score, single.Score)
-	}
-}
-
-// TestConcurrentRunsSharedDataset races several full Run calls on one
-// Dataset; meaningful under -race.
-func TestConcurrentRunsSharedDataset(t *testing.T) {
-	gt := generate(t, synth.Config{N: 150, D: 20, K: 3, AvgDims: 5, Seed: 62})
-	var wg sync.WaitGroup
-	for i := 0; i < 6; i++ {
-		seed := int64(i)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			opts := DefaultOptions(3)
-			opts.Seed = seed
-			opts.Restarts = 2
-			if _, err := Run(gt.Data, opts); err != nil {
-				t.Errorf("seed %d: %v", seed, err)
-			}
-		}()
-	}
-	wg.Wait()
-}
+// The generic parallelism contract (worker invariance, chunk-size
+// invariance, restart-0 ≡ base-seed, concurrent shared datasets) is asserted
+// for this package by the cross-algorithm conformance suite at the
+// repository root (conformance_test.go). Only the trace serialization —
+// SSPC-specific observable state shared across concurrent restarts — is
+// probed here.
 
 // TestTraceUnderParallelRestarts drives one Trace from concurrently running
 // restarts: callbacks must be serialized (no race on the callback state) and

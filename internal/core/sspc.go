@@ -36,18 +36,13 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	intra := intraWorkers(opts.Workers, opts.Restarts)
-	restart := func(restart int, rng *stats.RNG) (*cluster.Result, error) {
-		return runOnce(ds, opts, restart, rng, intra)
-	}
-	var results []*cluster.Result
-	if opts.EarlyStop > 0 {
-		results, err = engine.Stream(context.Background(), opts.Restarts, opts.Workers,
-			opts.Seed, opts.EarlyStop, cluster.BetterResult, restart)
-	} else {
-		results, err = engine.Run(context.Background(), opts.Restarts, opts.Workers,
-			opts.Seed, restart)
-	}
+	intra := engine.SplitBudget(opts.Workers, opts.Restarts)
+	// Stream degenerates to Run's fixed fan-out when EarlyStop <= 0.
+	results, err := engine.Stream(context.Background(), opts.Restarts, opts.Workers,
+		opts.Seed, opts.EarlyStop, cluster.BetterResult,
+		func(restart int, rng *stats.RNG) (*cluster.Result, error) {
+			return runOnce(ds, opts, restart, rng, intra)
+		})
 	if err != nil {
 		return nil, err
 	}

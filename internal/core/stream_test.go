@@ -112,24 +112,3 @@ func TestChunkSizeInvariance(t *testing.T) {
 		}
 	}
 }
-
-// TestIntraWorkersSplit documents the worker-budget split between concurrent
-// restarts and the chunked loops inside each restart.
-func TestIntraWorkersSplit(t *testing.T) {
-	cases := []struct {
-		workers, restarts, want int
-	}{
-		{1, 1, 1},   // serial stays serial
-		{8, 1, 8},   // single restart gets the whole budget
-		{8, 8, 1},   // enough restarts to fill the budget across
-		{8, 2, 4},   // split evenly
-		{8, 3, 3},   // ceil division: no stranded workers
-		{8, 5, 2},   // ceil division again
-		{2, 100, 1}, // more restarts than workers
-	}
-	for _, c := range cases {
-		if got := intraWorkers(c.workers, c.restarts); got != c.want {
-			t.Errorf("intraWorkers(%d, %d) = %d, want %d", c.workers, c.restarts, got, c.want)
-		}
-	}
-}

@@ -46,9 +46,26 @@ type Options struct {
 	// engine.ChildSeed(Seed, r).
 	Restarts int
 
-	// Workers bounds how many restarts run concurrently; <= 0 means
-	// runtime.GOMAXPROCS(0). The worker count never changes the result.
+	// Workers bounds the total worker budget: restarts run concurrently on
+	// up to this many goroutines, and workers left over (when Workers >
+	// Restarts) parallelize the chunked box-membership scans inside each
+	// restart. <= 0 means runtime.GOMAXPROCS(0). The worker count never
+	// changes the result.
 	Workers int
+
+	// EarlyStop, when > 0, streams the restarts instead of running a fixed
+	// best-of-Restarts: restarts launch lazily and the run stops once the
+	// best total µ score has not improved for EarlyStop consecutive restarts
+	// (judged in restart-index order, so the outcome is identical for every
+	// Workers value). Restarts stays the hard cap. 0 (the default) runs all
+	// Restarts unconditionally.
+	EarlyStop int
+
+	// ChunkSize is the number of remaining points per unit of intra-restart
+	// work in the chunked box-membership scan. Chunk boundaries are fixed by
+	// this value alone, so any ChunkSize produces byte-identical output; it
+	// only tunes scheduling granularity. <= 0 means a default of 512.
+	ChunkSize int
 }
 
 // DefaultOptions returns a practical configuration: w = 15% of the value
@@ -82,9 +99,18 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if restarts <= 0 {
 		restarts = 1
 	}
-	results, err := engine.Run(context.Background(), restarts, opts.Workers, opts.Seed,
+	if opts.EarlyStop < 0 {
+		opts.EarlyStop = 0
+	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = 512
+	}
+	intra := engine.SplitBudget(opts.Workers, restarts)
+	// Stream degenerates to Run's fixed fan-out when EarlyStop <= 0.
+	results, err := engine.Stream(context.Background(), restarts, opts.Workers,
+		opts.Seed, opts.EarlyStop, cluster.BetterResult,
 		func(_ int, rng *stats.RNG) (*cluster.Result, error) {
-			return runOnce(ds, opts, rng)
+			return runOnce(ds, opts, rng, intra)
 		})
 	if err != nil {
 		return nil, err
@@ -92,8 +118,9 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	return cluster.BestResult(results), nil
 }
 
-// runOnce executes one Monte-Carlo DOC run with its own RNG.
-func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG) (*cluster.Result, error) {
+// runOnce executes one Monte-Carlo DOC run with its own RNG, parallelizing
+// the box-membership scans across up to intra goroutines.
+func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*cluster.Result, error) {
 	n, d := ds.N(), ds.D()
 
 	// Discriminating set size r = ceil(log(2d)/log(1/2β)).
@@ -165,7 +192,7 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG) (*cluster.Result
 					// end of the inner loop.
 					if bestDims == nil || len(D) > len(bestDims) ||
 						(len(D) == len(bestDims) && bestMembers == nil) {
-						members := boxMembers(ds, remaining, prow, D, opts.W)
+						members := boxMembers(ds, remaining, prow, D, opts.W, intra, opts.ChunkSize)
 						if len(members) < minSize {
 							continue
 						}
@@ -175,7 +202,7 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG) (*cluster.Result
 					}
 					continue
 				}
-				members := boxMembers(ds, remaining, prow, D, opts.W)
+				members := boxMembers(ds, remaining, prow, D, opts.W, intra, opts.ChunkSize)
 				if len(members) < minSize {
 					continue
 				}
@@ -224,23 +251,28 @@ func mu(a, b int, beta float64) float64 {
 }
 
 // boxMembers returns the remaining points within w of p on every dimension
-// in D.
-func boxMembers(ds *dataset.Dataset, remaining []int, prow []float64, D []int, w float64) []int {
-	var out []int
-	for _, q := range remaining {
-		qrow := ds.Row(q)
-		ok := true
-		for _, j := range D {
-			if math.Abs(qrow[j]-prow[j]) > w {
-				ok = false
-				break
+// in D, scanning `remaining` chunked over fixed index ranges. Each chunk
+// collects its own ordered sub-list and the ordered fold concatenates them
+// in chunk-index order, so the member list is byte-identical to the serial
+// scan for every workers/chunkSize value.
+func boxMembers(ds *dataset.Dataset, remaining []int, prow []float64, D []int, w float64, workers, chunkSize int) []int {
+	return engine.MapChunks(len(remaining), chunkSize, workers, func(_, lo, hi int) []int {
+		var out []int
+		for _, q := range remaining[lo:hi] {
+			qrow := ds.Row(q)
+			ok := true
+			for _, j := range D {
+				if math.Abs(qrow[j]-prow[j]) > w {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, q)
 			}
 		}
-		if ok {
-			out = append(out, q)
-		}
-	}
-	return out
+		return out
+	}, func(acc, chunk []int) []int { return append(acc, chunk...) })
 }
 
 func removeAll(from, drop []int) []int {

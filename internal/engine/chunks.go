@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the intra-restart primitives: the fixed-boundary chunk
+// scheduler every algorithm's hot point loops run through, the ordered
+// map-reduce on top of it, the per-worker scratch pool, and the split of the
+// worker budget between concurrent restarts and the loops inside each. The
+// shared invariant, inherited by every caller: chunk boundaries depend only
+// on chunkSize — never on the worker count or on scheduling — so output is a
+// pure function of (input, chunkSize-independent math), byte-identical for
+// every Workers/ChunkSize combination.
+
+// SplitBudget splits the total worker budget between concurrent restarts and
+// the chunked loops inside each restart: with W workers and R restarts,
+// min(W, R) restarts run concurrently and each gets ceil(W / min(W, R))
+// goroutines for its inner loops — rounding up so no part of the budget is
+// stranded when W is not a multiple of R, at the cost of mild peak
+// oversubscription that also keeps cores busy as the restart stream drains.
+// The split is a scheduling heuristic only — any value produces
+// byte-identical results.
+func SplitBudget(workers, restarts int) int {
+	w := DefaultWorkers(workers)
+	concurrent := restarts
+	if concurrent > w {
+		concurrent = w
+	}
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	return (w + concurrent - 1) / concurrent
+}
+
+// ParallelChunks splits [0, total) into contiguous ranges of chunkSize
+// elements (the last one shorter) and runs fn over them on up to `workers`
+// goroutines. Chunk boundaries depend only on chunkSize, never on the worker
+// count, so a caller whose fn writes exclusively to its own [lo, hi) output
+// region produces byte-identical results for every workers value — the
+// invariant the intra-restart assignment step is built on.
+//
+// fn also receives a worker slot index in [0, workers) that is stable for
+// the duration of the call, so callers can hand each worker its own scratch
+// buffers (see Scratch). Slot assignment is scheduling-dependent; fn must use
+// the slot for scratch only, never to influence output values. workers <= 1
+// or total <= chunkSize runs everything inline on slot 0.
+func ParallelChunks(total, chunkSize, workers int, fn func(worker, lo, hi int)) {
+	if total <= 0 {
+		return
+	}
+	if chunkSize <= 0 {
+		chunkSize = total
+	}
+	if workers <= 1 || total <= chunkSize {
+		for lo := 0; lo < total; lo += chunkSize {
+			hi := lo + chunkSize
+			if hi > total {
+				hi = total
+			}
+			fn(0, lo, hi)
+		}
+		return
+	}
+	chunks := (total + chunkSize - 1) / chunkSize
+	if workers > chunks {
+		workers = chunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * chunkSize
+				hi := lo + chunkSize
+				if hi > total {
+					hi = total
+				}
+				fn(worker, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// MapChunks runs fn over the same fixed chunks as ParallelChunks, collects
+// one R per chunk, and folds the per-chunk results serially in chunk-index
+// order, seeded with the first chunk's result (a single chunk — the common
+// case once a range fits ChunkSize — returns fn's value directly, no fold
+// call, no copy). The fold is the ordered serial reduction of the
+// determinism contract: because chunk boundaries depend only on chunkSize
+// and the fold visits chunks in ascending order, the returned value is
+// identical for every workers count. Callers that need ChunkSize-invariance
+// too must pick an fn/fold pair whose composition does not depend on where
+// the boundaries fall (disjoint list concatenation, or sums that chunk
+// splits leave bit-identical). total <= 0 returns the zero R.
+func MapChunks[R any](total, chunkSize, workers int, fn func(worker, lo, hi int) R, fold func(acc, chunk R) R) R {
+	if total <= 0 {
+		var zero R
+		return zero
+	}
+	if chunkSize <= 0 {
+		chunkSize = total
+	}
+	if total <= chunkSize {
+		return fn(0, 0, total)
+	}
+	if workers <= 1 {
+		acc := fn(0, 0, chunkSize)
+		for lo := chunkSize; lo < total; lo += chunkSize {
+			hi := lo + chunkSize
+			if hi > total {
+				hi = total
+			}
+			acc = fold(acc, fn(0, lo, hi))
+		}
+		return acc
+	}
+	chunks := (total + chunkSize - 1) / chunkSize
+	results := make([]R, chunks)
+	ParallelChunks(total, chunkSize, workers, func(worker, lo, hi int) {
+		results[lo/chunkSize] = fn(worker, lo, hi)
+	})
+	acc := results[0]
+	for _, r := range results[1:] {
+		acc = fold(acc, r)
+	}
+	return acc
+}
+
+// Scratch hands each worker slot of a ParallelChunks / MapChunks call its
+// own lazily built scratch value, so chunked loops can reuse buffers without
+// sharing them across goroutines. A slot is owned by exactly one goroutine
+// for the duration of a chunked call (the worker index fn receives), which
+// is the only synchronization Scratch relies on: Get must only be called
+// with the worker index of the running chunk, and the values must never
+// influence outputs — scratch is for allocation reuse only.
+type Scratch[T any] struct {
+	build func() T
+	slots []T
+	made  []bool
+}
+
+// NewScratch returns a pool of `slots` lazily built scratch values (at least
+// one). build runs at most once per slot, on the first Get.
+func NewScratch[T any](slots int, build func() T) *Scratch[T] {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Scratch[T]{build: build, slots: make([]T, slots), made: make([]bool, slots)}
+}
+
+// Get returns worker's scratch value, building it on first use.
+func (s *Scratch[T]) Get(worker int) T {
+	if !s.made[worker] {
+		s.slots[worker] = s.build()
+		s.made[worker] = true
+	}
+	return s.slots[worker]
+}
+
+// Slots returns the number of worker slots in the pool.
+func (s *Scratch[T]) Slots() int { return len(s.slots) }

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSplitBudgetSplit pins the budget arithmetic: min(W, R) concurrent
+// restarts, each getting ceil(W / min(W, R)) intra workers.
+func TestSplitBudgetSplit(t *testing.T) {
+	cases := []struct {
+		workers, restarts, want int
+	}{
+		{8, 1, 8}, // single restart: the whole budget goes inside
+		{8, 8, 1}, // one worker per restart
+		{8, 4, 2}, // even split
+		{8, 3, 3}, // ceil(8/3): round up, don't strand budget
+		{1, 5, 1}, // serial stays serial
+		{4, 0, 4}, // degenerate restart count clamps to 1
+		{4, -2, 4},
+	}
+	for _, c := range cases {
+		if got := SplitBudget(c.workers, c.restarts); got != c.want {
+			t.Errorf("SplitBudget(%d, %d) = %d, want %d", c.workers, c.restarts, got, c.want)
+		}
+	}
+	// workers <= 0 resolves through DefaultWorkers first.
+	if got := SplitBudget(0, 1); got != DefaultWorkers(0) {
+		t.Errorf("SplitBudget(0, 1) = %d, want GOMAXPROCS (%d)", got, DefaultWorkers(0))
+	}
+}
+
+// TestMapChunksOrderedReduction: the fold visits chunks in ascending index
+// order regardless of worker count, so list concatenation reproduces the
+// serial order exactly.
+func TestMapChunksOrderedReduction(t *testing.T) {
+	const total = 137
+	want := make([]int, total)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, chunkSize := range []int{0, 1, 7, 64, 1000} {
+		for _, workers := range []int{1, 3, 8} {
+			got := MapChunks(total, chunkSize, workers, func(_, lo, hi int) []int {
+				out := make([]int, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					out = append(out, i*i)
+				}
+				return out
+			}, func(acc, chunk []int) []int { return append(acc, chunk...) })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("chunk=%d workers=%d: concatenation out of order", chunkSize, workers)
+			}
+		}
+	}
+}
+
+// TestMapChunksWorkerCountInvariance: an order-sensitive floating-point fold
+// returns bit-identical results for every worker count at a fixed chunk
+// size — the reduction is serial even when the map ran parallel.
+func TestMapChunksWorkerCountInvariance(t *testing.T) {
+	sum := func(workers int) float64 {
+		return MapChunks(1000, 17, workers, func(_, lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += 1.0 / float64(i+1)
+			}
+			return s
+		}, func(acc, chunk float64) float64 { return acc + chunk })
+	}
+	serial := sum(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := sum(workers); got != serial {
+			t.Fatalf("workers=%d: %v != serial %v", workers, got, serial)
+		}
+	}
+}
+
+// TestMapChunksEmpty: total <= 0 returns the zero value without calling fn.
+func TestMapChunksEmpty(t *testing.T) {
+	got := MapChunks(0, 4, 2, func(_, _, _ int) int {
+		t.Error("fn called for empty range")
+		return 1
+	}, func(acc, chunk int) int { return acc + chunk })
+	if got != 0 {
+		t.Fatalf("MapChunks over empty range = %d, want 0", got)
+	}
+}
+
+// TestScratchPerSlot: each slot is built exactly once, on first use, and
+// slots hand out distinct values.
+func TestScratchPerSlot(t *testing.T) {
+	var builds atomic.Int64
+	s := NewScratch(3, func() []int {
+		builds.Add(1)
+		return make([]int, 4)
+	})
+	if s.Slots() != 3 {
+		t.Fatalf("Slots() = %d, want 3", s.Slots())
+	}
+	a, b := s.Get(0), s.Get(1)
+	if &a[0] == &b[0] {
+		t.Error("slots 0 and 1 share a buffer")
+	}
+	if got := s.Get(0); &got[0] != &a[0] {
+		t.Error("slot 0 rebuilt on second Get")
+	}
+	if n := builds.Load(); n != 2 {
+		t.Errorf("build ran %d times for 2 used slots", n)
+	}
+	// Unused slot 2 never built; degenerate slot counts clamp to 1.
+	if NewScratch(0, func() int { return 7 }).Slots() != 1 {
+		t.Error("slots < 1 not clamped")
+	}
+}
+
+// TestScratchUnderParallelChunks: the scratch pool is race-free when indexed
+// by the worker slot of a chunked call (meaningful under -race).
+func TestScratchUnderParallelChunks(t *testing.T) {
+	const workers = 4
+	s := NewScratch(workers, func() []int { return make([]int, 100) })
+	ParallelChunks(1000, 7, workers, func(w, lo, hi int) {
+		buf := s.Get(w)
+		for i := lo; i < hi; i++ {
+			buf[i%len(buf)]++
+		}
+	})
+}

@@ -293,62 +293,6 @@ func Stream[R any](ctx context.Context, n, workers int, seed int64, plateau int,
 	return results[:consumed:consumed], nil
 }
 
-// ParallelChunks splits [0, total) into contiguous ranges of chunkSize
-// elements (the last one shorter) and runs fn over them on up to `workers`
-// goroutines. Chunk boundaries depend only on chunkSize, never on the worker
-// count, so a caller whose fn writes exclusively to its own [lo, hi) output
-// region produces byte-identical results for every workers value — the
-// invariant the intra-restart assignment step is built on.
-//
-// fn also receives a worker slot index in [0, workers) that is stable for
-// the duration of the call, so callers can hand each worker its own scratch
-// buffers. Slot assignment is scheduling-dependent; fn must use the slot for
-// scratch only, never to influence output values. workers <= 1 or
-// total <= chunkSize runs everything inline on slot 0.
-func ParallelChunks(total, chunkSize, workers int, fn func(worker, lo, hi int)) {
-	if total <= 0 {
-		return
-	}
-	if chunkSize <= 0 {
-		chunkSize = total
-	}
-	if workers <= 1 || total <= chunkSize {
-		for lo := 0; lo < total; lo += chunkSize {
-			hi := lo + chunkSize
-			if hi > total {
-				hi = total
-			}
-			fn(0, lo, hi)
-		}
-		return
-	}
-	chunks := (total + chunkSize - 1) / chunkSize
-	if workers > chunks {
-		workers = chunks
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					return
-				}
-				lo := c * chunkSize
-				hi := lo + chunkSize
-				if hi > total {
-					hi = total
-				}
-				fn(worker, lo, hi)
-			}
-		}(w)
-	}
-	wg.Wait()
-}
-
 // Best returns the index of the best element under the strict `better`
 // predicate. Ties keep the lowest index, so the selection is deterministic
 // and independent of how the results were produced. It returns -1 for an

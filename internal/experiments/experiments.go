@@ -44,6 +44,11 @@ type Config struct {
 	// exactly. Cells that report medians over independent knowledge draws
 	// (§5.3) never early-stop — every draw is part of the statistic.
 	EarlyStop int
+	// ChunkSize is forwarded to each algorithm's intra-restart chunked
+	// loops (SSPC, PROCLUS, HARP, CLARANS). Like Workers it never changes
+	// a table, only scheduling granularity; <= 0 keeps each algorithm's
+	// default.
+	ChunkSize int
 }
 
 // Paper returns the full-fidelity configuration.

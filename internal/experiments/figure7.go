@@ -54,7 +54,9 @@ func Figure7(cfg Config) (*Table, error) {
 	}
 
 	// HARP (deterministic).
-	hr, err := harp.Run(mg.Data, harp.DefaultOptions(k))
+	hopts := harp.DefaultOptions(k)
+	hopts.ChunkSize = cfg.ChunkSize
+	hr, err := harp.Run(mg.Data, hopts)
 	if err != nil {
 		return nil, err
 	}
@@ -101,6 +103,8 @@ func Figure7(cfg Config) (*Table, error) {
 			opts.M = 0.5
 			opts.Knowledge = kn
 			opts.Seed = s
+			opts.Workers = 1 // repeats carry the concurrency; see sspcBest
+			opts.ChunkSize = cfg.ChunkSize
 			return core.Run(mg.Data, opts)
 		})
 		if err != nil {

@@ -39,9 +39,15 @@ func scalability(cfg Config, points [][2]int, label func(p [2]int) string, title
 		if err != nil {
 			return nil, err
 		}
+		// Workers = 1 keeps the timed runs fully serial — with the default
+		// (all CPUs) the whole budget would flow into the intra-restart
+		// chunked loops and the timing series would depend on the core
+		// count, breaking comparability with the paper's serial curves.
 		sspcSec, err := timeRuns(cfg.Repeats, func(seed int64) error {
 			opts := core.DefaultOptions(k)
 			opts.Seed = seed
+			opts.Workers = 1
+			opts.ChunkSize = cfg.ChunkSize
 			_, err := core.Run(gt.Data, opts)
 			return err
 		})
@@ -51,6 +57,8 @@ func scalability(cfg Config, points [][2]int, label func(p [2]int) string, title
 		proclusSec, err := timeRuns(cfg.Repeats, func(seed int64) error {
 			opts := proclus.DefaultOptions(k, lreal)
 			opts.Seed = seed
+			opts.Workers = 1
+			opts.ChunkSize = cfg.ChunkSize
 			_, err := proclus.Run(gt.Data, opts)
 			return err
 		})

@@ -18,7 +18,11 @@ func ariOf(gt *synth.GroundTruth, res *cluster.Result) (float64, error) {
 	return eval.ARI(gt.Labels, res.Assignments)
 }
 
-// sspcBest runs SSPC best-of-repeats (by φ) for one parameter value.
+// sspcBest runs SSPC best-of-repeats (by φ) for one parameter value. The
+// runs inside a cell stay fully serial (Workers = 1): the harness manages
+// concurrency at the cell/repeat level, and an unset Workers would hand
+// every repeat GOMAXPROCS intra-restart goroutines — squaring the total
+// concurrency cfg.Workers is meant to bound.
 func sspcBest(gt *synth.GroundTruth, k int, scheme core.ThresholdScheme, param float64,
 	kn *dataset.Knowledge, cfg Config) (*cluster.Result, error) {
 	return bestOf(cfg.Repeats, cfg.Workers, cfg.EarlyStop, cfg.Seed, func(s int64) (*cluster.Result, error) {
@@ -31,15 +35,20 @@ func sspcBest(gt *synth.GroundTruth, k int, scheme core.ThresholdScheme, param f
 		}
 		opts.Knowledge = kn
 		opts.Seed = s
+		opts.Workers = 1
+		opts.ChunkSize = cfg.ChunkSize
 		return core.Run(gt.Data, opts)
 	})
 }
 
-// proclusBest runs PROCLUS best-of-repeats (by its cost) for one l.
+// proclusBest runs PROCLUS best-of-repeats (by its cost) for one l, serial
+// inside the cell like sspcBest.
 func proclusBest(gt *synth.GroundTruth, k, l int, cfg Config) (*cluster.Result, error) {
 	return bestOf(cfg.Repeats, cfg.Workers, cfg.EarlyStop, cfg.Seed, func(s int64) (*cluster.Result, error) {
 		opts := proclus.DefaultOptions(k, l)
 		opts.Seed = s
+		opts.Workers = 1
+		opts.ChunkSize = cfg.ChunkSize
 		return proclus.Run(gt.Data, opts)
 	})
 }
@@ -128,6 +137,8 @@ func Figure3(cfg Config) (*Table, error) {
 				clr, err := bestOf(inner.Repeats, inner.Workers, inner.EarlyStop, inner.Seed, func(s int64) (*cluster.Result, error) {
 					opts := clarans.DefaultOptions(k)
 					opts.Seed = s
+					opts.Workers = 1
+					opts.ChunkSize = cfg.ChunkSize
 					return clarans.Run(gt.Data, opts)
 				})
 				if err != nil {
@@ -137,7 +148,10 @@ func Figure3(cfg Config) (*Table, error) {
 				return err
 			},
 			func() error {
-				hr, err := harp.Run(gt.Data, harp.DefaultOptions(k))
+				hopts := harp.DefaultOptions(k)
+				hopts.Workers = 1
+				hopts.ChunkSize = cfg.ChunkSize
+				hr, err := harp.Run(gt.Data, hopts)
 				if err != nil {
 					return err
 				}

@@ -14,7 +14,7 @@ import (
 // knowledgeARI runs SSPC once with knowledge sampled under kcfg and returns
 // the ARI with labeled objects removed first — the paper's protocol for the
 // §5.3 experiments.
-func knowledgeARI(gt *synth.GroundTruth, k int, kcfg synth.KnowledgeConfig, runSeed int64) (float64, error) {
+func knowledgeARI(gt *synth.GroundTruth, k int, kcfg synth.KnowledgeConfig, runSeed int64, chunkSize int) (float64, error) {
 	kn, err := synth.SampleKnowledge(gt, kcfg)
 	if err != nil {
 		return 0, err
@@ -23,6 +23,8 @@ func knowledgeARI(gt *synth.GroundTruth, k int, kcfg synth.KnowledgeConfig, runS
 	opts.M = 0.5 // the paper sets m = 0.5 for this experiment
 	opts.Knowledge = kn
 	opts.Seed = runSeed
+	opts.Workers = 1 // repeats carry the concurrency; see sspcBest
+	opts.ChunkSize = chunkSize
 	res, err := core.Run(gt.Data, opts)
 	if err != nil {
 		return 0, err
@@ -41,7 +43,7 @@ func medianKnowledgeARI(gt *synth.GroundTruth, k int, kcfg synth.KnowledgeConfig
 		func(r int, _ *stats.RNG) (float64, error) {
 			rcfg := kcfg
 			rcfg.Seed = cfg.Seed + int64(1000*r)
-			return knowledgeARI(gt, k, rcfg, cfg.Seed+int64(r))
+			return knowledgeARI(gt, k, rcfg, cfg.Seed+int64(r), cfg.ChunkSize)
 		})
 	if err != nil {
 		return 0, err

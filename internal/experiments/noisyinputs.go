@@ -57,6 +57,8 @@ func NoisyInputs(cfg Config) (*Table, error) {
 				opts := core.DefaultOptions(5)
 				opts.Knowledge = kn
 				opts.Seed = cfg.Seed + int64(r)
+				opts.Workers = 1 // repeats carry the concurrency; see sspcBest
+				opts.ChunkSize = cfg.ChunkSize
 
 				trusting, err := core.Run(gt.Data, opts)
 				if err != nil {

@@ -46,10 +46,18 @@ type Options struct {
 	// goroutines), keeping the highest-scoring clustering. Seed = 0 with
 	// Restarts <= 1 is the canonical published order. Restart r derives its
 	// RNG from engine.ChildSeed(Seed, r); the worker count never changes
-	// the result.
+	// the result. Workers beyond the restart count parallelize the
+	// per-node merge-proposal scans inside each restart.
 	Seed     int64
 	Restarts int
 	Workers  int
+
+	// ChunkSize is the number of active nodes per unit of intra-restart
+	// work in the chunked merge-proposal scan. Chunk boundaries are fixed
+	// by this value alone, so any ChunkSize produces byte-identical output;
+	// it only tunes scheduling granularity. <= 0 means a default of 32
+	// (each node's scan is O(active·d), far heavier than a per-point scan).
+	ChunkSize int
 }
 
 // DefaultOptions returns a configuration matching the published defaults.
@@ -90,13 +98,17 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if restarts <= 0 {
 		restarts = 1
 	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = 32
+	}
+	intra := engine.SplitBudget(opts.Workers, restarts)
 	results, err := engine.Run(context.Background(), restarts, opts.Workers, opts.Seed,
 		func(restart int, rng *stats.RNG) (*cluster.Result, error) {
 			var order []int
 			if opts.Seed != 0 || restart > 0 {
 				order = rng.Perm(n)
 			}
-			return runOnce(ds, opts, order)
+			return runOnce(ds, opts, order, intra)
 		})
 	if err != nil {
 		return nil, err
@@ -107,7 +119,8 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 // runOnce executes one agglomerative merge pass. order permutes the initial
 // cluster scan order (nil = canonical object order); members always carry
 // original object ids, so only tie-breaking and batch cutoffs depend on it.
-func runOnce(ds *dataset.Dataset, opts Options, order []int) (*cluster.Result, error) {
+// The merge-proposal scans run on up to intra goroutines.
+func runOnce(ds *dataset.Dataset, opts Options, order []int, intra int) (*cluster.Result, error) {
 	n, d := ds.N(), ds.D()
 
 	globalVar := make([]float64, d)
@@ -171,28 +184,7 @@ func runOnce(ds *dataset.Dataset, opts Options, order []int) (*cluster.Result, e
 		for activeCount > opts.K {
 			iterations++
 			act := activeNodes(nodes)
-			bestPartner := make([]int, len(act))
-			bestScore := make([]float64, len(act))
-			for i := range bestPartner {
-				bestPartner[i] = -1
-				bestScore[i] = math.Inf(-1)
-			}
-			for i := 0; i < len(act); i++ {
-				for j := i + 1; j < len(act); j++ {
-					cnt, score := evalMerge(act[i], act[j], rmin)
-					if cnt < dmin {
-						continue
-					}
-					if score > bestScore[i] {
-						bestScore[i] = score
-						bestPartner[i] = j
-					}
-					if score > bestScore[j] {
-						bestScore[j] = score
-						bestPartner[j] = i
-					}
-				}
-			}
+			bestPartner := proposeMerges(act, evalMerge, rmin, dmin, intra, opts.ChunkSize)
 			merged := 0
 			for i, a := range act {
 				bj := bestPartner[i]
@@ -285,6 +277,78 @@ func runOnce(ds *dataset.Dataset, opts Options, order []int) (*cluster.Result, e
 		return nil, fmt.Errorf("harp: internal result invalid: %w", err)
 	}
 	return res, nil
+}
+
+// proposeMerges runs one merge-proposal round: every active node scans the
+// others for its best allowed partner (highest total relevance at thresholds
+// rmin/dmin, ties keeping the earliest partner). The scan runs chunked over
+// fixed node ranges on up to `workers` goroutines; each node writes only its
+// own bestPartner/bestScore slots.
+//
+// The parallel per-node scan is byte-identical to the historical serial
+// half-matrix loop (for i, for j > i, updating both ends of the pair): that
+// loop shows node i the pairs (0,i), (1,i), …, (i−1,i) — in ascending outer
+// index — before (i,i+1), …, (i,len−1), so node i encounters its candidate
+// partners in ascending index order there too, with the same strict-improve
+// tie-break. Evaluating each pair in (lower, higher) argument order keeps
+// the merged-variance floating point of evalMerge identical as well.
+func proposeMerges(act []*node, evalMerge func(a, b *node, rmin float64) (int, float64),
+	rmin float64, dmin, workers, chunkSize int) []int {
+	bestPartner := make([]int, len(act))
+	bestScore := make([]float64, len(act))
+	for i := range bestPartner {
+		bestPartner[i] = -1
+		bestScore[i] = math.Inf(-1)
+	}
+	if chunkSize <= 0 {
+		chunkSize = len(act)
+	}
+	if chunks := (len(act) + chunkSize - 1) / chunkSize; workers <= 2 || chunks <= 2 {
+		// The half-matrix loop evaluates each pair once; the per-node scan
+		// below evaluates each pair twice, so its breakeven is more than two
+		// *effective* workers — at two, 2x work over 2 goroutines is at best
+		// parity, and ParallelChunks caps effective parallelism at the chunk
+		// count, which shrinks as merging drains the active set.
+		for i := 0; i < len(act); i++ {
+			for j := i + 1; j < len(act); j++ {
+				cnt, score := evalMerge(act[i], act[j], rmin)
+				if cnt < dmin {
+					continue
+				}
+				if score > bestScore[i] {
+					bestScore[i] = score
+					bestPartner[i] = j
+				}
+				if score > bestScore[j] {
+					bestScore[j] = score
+					bestPartner[j] = i
+				}
+			}
+		}
+		return bestPartner
+	}
+	engine.ParallelChunks(len(act), chunkSize, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < len(act); j++ {
+				if j == i {
+					continue
+				}
+				a, b := act[i], act[j]
+				if j < i {
+					a, b = b, a
+				}
+				cnt, score := evalMerge(a, b, rmin)
+				if cnt < dmin {
+					continue
+				}
+				if score > bestScore[i] {
+					bestScore[i] = score
+					bestPartner[i] = j
+				}
+			}
+		}
+	})
+	return bestPartner
 }
 
 func activeNodes(nodes []*node) []*node {

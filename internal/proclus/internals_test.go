@@ -88,7 +88,7 @@ func TestAssignPointsCostNonNegative(t *testing.T) {
 	medoids := []int{gt.MembersOfClass(0)[0], gt.MembersOfClass(1)[0]}
 	dims := [][]int{gt.Dims[0], gt.Dims[1]}
 	assign := make([]int, 200)
-	cost := assignPoints(gt.Data, medoids, dims, assign)
+	cost := assignPoints(gt.Data, medoids, dims, assign, 1, 0)
 	if cost < 0 {
 		t.Errorf("cost = %v", cost)
 	}

@@ -57,9 +57,26 @@ type Options struct {
 	// engine.ChildSeed(Seed, r).
 	Restarts int
 
-	// Workers bounds how many restarts run concurrently; <= 0 means
+	// Workers bounds the total worker budget: restarts run concurrently on
+	// up to this many goroutines, and workers left over (when Workers >
+	// Restarts) parallelize the chunked point loops (assignment, dimension
+	// refinement, outlier marking) inside each restart. <= 0 means
 	// runtime.GOMAXPROCS(0). The worker count never changes the result.
 	Workers int
+
+	// EarlyStop, when > 0, streams the restarts instead of running a fixed
+	// best-of-Restarts: restarts launch lazily and the run stops once the
+	// best cost has not improved for EarlyStop consecutive restarts (judged
+	// in restart-index order, so the outcome is identical for every Workers
+	// value). Restarts stays the hard cap. 0 (the default) runs all
+	// Restarts unconditionally.
+	EarlyStop int
+
+	// ChunkSize is the number of objects per unit of intra-restart work in
+	// the chunked point loops. Chunk boundaries are fixed by this value
+	// alone, so any ChunkSize produces byte-identical output; it only tunes
+	// scheduling granularity. <= 0 means a default of 512.
+	ChunkSize int
 }
 
 // DefaultOptions mirrors the constants of the original paper.
@@ -107,21 +124,33 @@ func (o Options) normalized(ds *dataset.Dataset) (Options, error) {
 	if o.Restarts <= 0 {
 		o.Restarts = 1
 	}
+	if o.EarlyStop < 0 {
+		o.EarlyStop = 0
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 512
+	}
 	return o, nil
 }
 
 // Run executes PROCLUS and returns the best clustering (lowest cost) across
 // Options.Restarts independent randomized runs, executed concurrently on up
-// to Options.Workers goroutines through the restart engine. The result is a
-// pure function of (ds, opts), independent of the worker count.
+// to Options.Workers goroutines through the restart engine; workers beyond
+// the restart count parallelize the chunked point loops inside each restart.
+// With Options.EarlyStop > 0 the restarts stream lazily and stop once the
+// cost has plateaued for that many consecutive restarts. The result is a
+// pure function of (ds, opts) — Workers and ChunkSize never change it.
 func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	opts, err := opts.normalized(ds)
 	if err != nil {
 		return nil, err
 	}
-	results, err := engine.Run(context.Background(), opts.Restarts, opts.Workers, opts.Seed,
+	intra := engine.SplitBudget(opts.Workers, opts.Restarts)
+	// Stream degenerates to Run's fixed fan-out when EarlyStop <= 0.
+	results, err := engine.Stream(context.Background(), opts.Restarts, opts.Workers,
+		opts.Seed, opts.EarlyStop, cluster.BetterResult,
 		func(_ int, rng *stats.RNG) (*cluster.Result, error) {
-			return runOnce(ds, opts, rng)
+			return runOnce(ds, opts, rng, intra)
 		})
 	if err != nil {
 		return nil, err
@@ -129,8 +158,9 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	return cluster.BestResult(results), nil
 }
 
-// runOnce executes one randomized PROCLUS run with its own RNG.
-func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG) (*cluster.Result, error) {
+// runOnce executes one randomized PROCLUS run with its own RNG,
+// parallelizing the chunked point loops across up to intra goroutines.
+func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*cluster.Result, error) {
 	n := ds.N()
 
 	candidates := greedyPiercing(ds, rng, opts)
@@ -153,7 +183,7 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG) (*cluster.Result
 	for iterations < opts.MaxIterations && stall < opts.MaxStall {
 		iterations++
 		dims := findDimensions(ds, medoids, opts)
-		cost := assignPoints(ds, medoids, dims, assign)
+		cost := assignPoints(ds, medoids, dims, assign, intra, opts.ChunkSize)
 		if cost < bestCost {
 			bestCost = cost
 			copy(bestAssign, assign)
@@ -199,10 +229,10 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG) (*cluster.Result
 	if bestDims == nil {
 		bestDims = findDimensions(ds, bestMedoids, opts)
 	}
-	refined := refineDimensions(ds, bestMedoids, bestAssign, opts)
-	finalCost := assignPoints(ds, bestMedoids, refined, bestAssign)
+	refined := refineDimensions(ds, bestMedoids, bestAssign, opts, intra)
+	finalCost := assignPoints(ds, bestMedoids, refined, bestAssign, intra, opts.ChunkSize)
 	if opts.OutlierHandling {
-		markOutliers(ds, bestMedoids, refined, bestAssign)
+		markOutliers(ds, bestMedoids, refined, bestAssign, intra, opts.ChunkSize)
 	}
 
 	res := &cluster.Result{
@@ -360,51 +390,66 @@ func findDimensions(ds *dataset.Dataset, medoids []int, opts Options) [][]int {
 
 // assignPoints assigns every object to the medoid with the smallest
 // Manhattan segmental distance and returns the PROCLUS cost: the average
-// within-cluster segmental dispersion weighted by cluster size.
-func assignPoints(ds *dataset.Dataset, medoids []int, dims [][]int, assign []int) float64 {
+// within-cluster segmental dispersion weighted by cluster size. The argmin
+// scan runs chunked over fixed point ranges (disjoint writes to assign); the
+// cost is a map-reduce with one unit of work per cluster, folded in
+// cluster-index order so the floating-point sum is byte-identical to the
+// serial loop for every workers/chunkSize value.
+func assignPoints(ds *dataset.Dataset, medoids []int, dims [][]int, assign []int, workers, chunkSize int) float64 {
 	n := ds.N()
 	k := len(medoids)
 	medoidRows := make([][]float64, k)
 	for i, m := range medoids {
 		medoidRows[i] = ds.Row(m)
 	}
-	for p := 0; p < n; p++ {
-		best := math.Inf(1)
-		arg := 0
-		for i := 0; i < k; i++ {
-			if d := ds.SegmentalDistance(p, medoidRows[i], dims[i]); d < best {
-				best = d
-				arg = i
+	engine.ParallelChunks(n, chunkSize, workers, func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			best := math.Inf(1)
+			arg := 0
+			for i := 0; i < k; i++ {
+				if d := ds.SegmentalDistance(p, medoidRows[i], dims[i]); d < best {
+					best = d
+					arg = i
+				}
 			}
+			assign[p] = arg
 		}
-		assign[p] = arg
-	}
+	})
 	// Cost: (1/n) Σ_i n_i w_i with w_i the mean segmental distance of the
-	// members to their centroid over the cluster's dimensions.
-	cost := 0.0
-	for i := 0; i < k; i++ {
-		var members []int
-		for p := 0; p < n; p++ {
-			if assign[p] == i {
-				members = append(members, p)
+	// members to their centroid over the cluster's dimensions. Each cluster
+	// sums its members in ascending point order; an empty or dimensionless
+	// cluster contributes exactly 0.0, which leaves the non-negative running
+	// sum bit-identical to skipping it.
+	cost := engine.MapChunks(k, 1, workers, func(_, lo, hi int) float64 {
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			var members []int
+			for p := 0; p < n; p++ {
+				if assign[p] == i {
+					members = append(members, p)
+				}
+			}
+			if len(members) == 0 || len(dims[i]) == 0 {
+				continue
+			}
+			centroid := ds.MeanVector(members)
+			for _, p := range members {
+				sum += ds.SegmentalDistance(p, centroid, dims[i]) // Σ n_i·w_i
 			}
 		}
-		if len(members) == 0 || len(dims[i]) == 0 {
-			continue
-		}
-		centroid := ds.MeanVector(members)
-		sum := 0.0
-		for _, p := range members {
-			sum += ds.SegmentalDistance(p, centroid, dims[i])
-		}
-		cost += sum // Σ n_i·w_i = Σ over members of segmental distance
-	}
+		return sum
+	}, func(acc, chunk float64) float64 { return acc + chunk })
 	return cost / float64(n)
 }
 
 // refineDimensions redoes dimension selection using the actual clusters in
-// place of the localities (the refinement phase of the paper).
-func refineDimensions(ds *dataset.Dataset, medoids []int, assign []int, opts Options) [][]int {
+// place of the localities (the refinement phase of the paper). With workers
+// to spare, the X accumulation runs with one unit of work per cluster: each
+// cluster scans the assignment in ascending point order — the exact
+// accumulation order of the serial single pass, since a point only ever
+// contributes to its own cluster's row — and writes only X[c]/counts[c].
+// Serially the single O(n·d) pass stays cheaper than k per-cluster scans.
+func refineDimensions(ds *dataset.Dataset, medoids []int, assign []int, opts Options, workers int) [][]int {
 	k := len(medoids)
 	d := ds.D()
 	X := make([][]float64, k)
@@ -412,16 +457,37 @@ func refineDimensions(ds *dataset.Dataset, medoids []int, assign []int, opts Opt
 	for i := range X {
 		X[i] = make([]float64, d)
 	}
-	for p, c := range assign {
-		if c < 0 {
-			continue
+	// The per-cluster path pays k extra O(n) assignment scans on top of the
+	// O(n·d) accumulation it splits across workers; it beats the serial
+	// single pass only while (k·n + n·d)/workers < n·d, i.e. k < (workers−1)·d.
+	if workers <= 1 || k >= (workers-1)*d {
+		for p, c := range assign {
+			if c < 0 {
+				continue
+			}
+			prow := ds.Row(p)
+			mrow := ds.Row(medoids[c])
+			for j := 0; j < d; j++ {
+				X[c][j] += math.Abs(prow[j] - mrow[j])
+			}
+			counts[c]++
 		}
-		prow := ds.Row(p)
-		mrow := ds.Row(medoids[c])
-		for j := 0; j < d; j++ {
-			X[c][j] += math.Abs(prow[j] - mrow[j])
-		}
-		counts[c]++
+	} else {
+		engine.ParallelChunks(k, 1, workers, func(_, lo, hi int) {
+			for c := lo; c < hi; c++ {
+				mrow := ds.Row(medoids[c])
+				for p, pc := range assign {
+					if pc != c {
+						continue
+					}
+					prow := ds.Row(p)
+					for j := 0; j < d; j++ {
+						X[c][j] += math.Abs(prow[j] - mrow[j])
+					}
+					counts[c]++
+				}
+			}
+		})
 	}
 	for i := 0; i < k; i++ {
 		if counts[i] == 0 {
@@ -486,8 +552,9 @@ func refineDimensions(ds *dataset.Dataset, medoids []int, assign []int, opts Opt
 
 // markOutliers discards points outside every medoid's sphere of influence:
 // the smallest segmental distance from the medoid to any other medoid in
-// the cluster's subspace.
-func markOutliers(ds *dataset.Dataset, medoids []int, dims [][]int, assign []int) {
+// the cluster's subspace. The per-point membership test runs chunked over
+// fixed point ranges; each chunk writes only its own assign slots.
+func markOutliers(ds *dataset.Dataset, medoids []int, dims [][]int, assign []int, workers, chunkSize int) {
 	k := len(medoids)
 	radius := make([]float64, k)
 	for i := 0; i < k; i++ {
@@ -502,16 +569,18 @@ func markOutliers(ds *dataset.Dataset, medoids []int, dims [][]int, assign []int
 			}
 		}
 	}
-	for p := range assign {
-		inside := false
-		for i := 0; i < k; i++ {
-			if ds.SegmentalDistance(p, ds.Row(medoids[i]), dims[i]) <= radius[i] {
-				inside = true
-				break
+	engine.ParallelChunks(len(assign), chunkSize, workers, func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			inside := false
+			for i := 0; i < k; i++ {
+				if ds.SegmentalDistance(p, ds.Row(medoids[i]), dims[i]) <= radius[i] {
+					inside = true
+					break
+				}
+			}
+			if !inside {
+				assign[p] = cluster.Outlier
 			}
 		}
-		if !inside {
-			assign[p] = cluster.Outlier
-		}
-	}
+	})
 }

@@ -27,24 +27,31 @@
 //   - Workers: the maximum number of restarts executed concurrently; <= 0
 //     means runtime.GOMAXPROCS(0).
 //
-// SSPC additionally parallelizes inside each restart and can stream its
-// restarts adaptively:
+// Every algorithm also parallelizes inside each restart, and the
+// restart-based searches can stream their restarts adaptively:
 //
-//   - Workers beyond the restart count are spent on the O(n·K·|V|)
-//     assignment step, chunked over fixed point ranges (Options.ChunkSize
-//     objects per chunk; any value gives identical output).
-//   - Options.EarlyStop > 0 launches restarts lazily and stops once the
-//     best objective φ has not improved for that many consecutive restarts,
-//     with Restarts as the hard cap. EarlyStop = 0 (the default) runs the
-//     fixed best-of-Restarts protocol.
+//   - Workers beyond the restart count are spent on each algorithm's hot
+//     point loops — SSPC's O(n·K·|V|) assignment and dimension
+//     re-selection, PROCLUS's assignment / dimension-refinement / outlier
+//     passes, DOC's box-membership scans, HARP's per-node merge-proposal
+//     scans, CLARANS's final assignment — chunked over fixed ranges
+//     (Options.ChunkSize elements per chunk; any value gives identical
+//     output).
+//   - Options.EarlyStop > 0 (SSPC, PROCLUS, DOC) launches restarts lazily
+//     and stops once the best objective has not improved for that many
+//     consecutive restarts, with Restarts as the hard cap. EarlyStop = 0
+//     (the default) runs the fixed best-of-Restarts protocol.
 //
 // Results are a pure function of (dataset, options): restart r derives its
 // RNG from a splitmix-style child of Options.Seed, results — and the
 // early-stop decision — are reduced in restart order, and ties keep the
 // lowest restart — so Workers = 1 and Workers = N produce byte-identical
 // Results, and a single-restart run reproduces the historical serial output
-// for the same Seed. Datasets are safe for any number of concurrent
-// readers; concurrent Cluster calls may share one *Dataset.
+// for the same Seed. The cross-algorithm conformance suite
+// (conformance_test.go) pins all three legs — worker invariance, chunk-size
+// invariance, restart-0 ≡ base-seed — for every algorithm. Datasets are
+// safe for any number of concurrent readers; concurrent Cluster calls may
+// share one *Dataset.
 //
 //	opts := sspc.DefaultOptions(4)
 //	opts.Restarts = 8 // 8 restarts, all CPUs, same answer as Workers=1
