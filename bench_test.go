@@ -165,6 +165,36 @@ func BenchmarkAssignChunked(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterSharded measures the sharded storage path: a single SSPC
+// restart at 8 workers on flat storage vs shard-backed storage at several
+// shard counts (chunk boundaries align one chunk per shard, so each worker
+// scans only its own shard's memory). The Result is byte-identical across
+// every sub-benchmark (pinned by TestConformanceShardedVsFlat); the
+// comparison charts the locality cost/benefit of shard-backed accessors —
+// run on multi-core hardware, single-core CI only tracks the dispatch
+// overhead.
+func BenchmarkClusterSharded(b *testing.B) {
+	gt := benchGroundTruth(b, 2000, 200, 5, 12)
+	run := func(b *testing.B, ds *Dataset) {
+		for i := 0; i < b.N; i++ {
+			opts := DefaultOptions(5)
+			opts.Seed = 42
+			opts.Workers = 8
+			if _, err := Cluster(ds, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("flat", func(b *testing.B) { run(b, gt.Data) })
+	for _, shards := range []int{4, 16, 64} {
+		sd, err := ShardDataset(gt.Data, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { run(b, sd.Dataset()) })
+	}
+}
+
 // BenchmarkExperimentsParallel measures harness scaling on a real figure
 // (Figure 4's parameter sweep) at 1/2/4/8 workers; the rendered table is
 // identical across the sub-benchmarks.

@@ -52,6 +52,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "concurrent restarts (spare workers parallelize each algorithm's chunked loops inside a restart); 0 = all CPUs. Never changes the result, only the wall-clock time")
 		earlyStop = flag.Int("earlystop", 0, "sspc/proclus/doc: stop streaming restarts once the objective has not improved for this many consecutive restarts; -restarts stays the cap. 0 = run all restarts")
 		chunk     = flag.Int("chunk", 0, "objects (harp: nodes) per intra-restart chunk; 0 = algorithm default. Any value gives identical output")
+		shards    = flag.Int("shards", 0, "re-back the dataset as this many contiguous row-range shards, each with its own backing memory; row-scanning chunked loops then align one chunk per shard. 0 = flat storage. Any value gives identical output")
 		knowledge = flag.String("knowledge", "", "knowledge file for SSPC (object/dim labels)")
 		normalize = flag.String("normalize", "none", "preprocessing: none | zscore | minmax | robust")
 		validate  = flag.Bool("validate", false, "validate knowledge and drop suspect entries before clustering (SSPC only)")
@@ -104,6 +105,19 @@ func main() {
 	}
 	if err != nil {
 		fail(err)
+	}
+
+	// Shard after normalization: the normalizers return flat datasets, and
+	// sharding is the last storage decision before clustering. (The pure
+	// streaming path — dataset.ReadCSVSharded — skips the flat intermediate
+	// entirely but needs a rows-per-shard budget instead of a shard count;
+	// see docs/DATASETS.md.)
+	if *shards > 0 {
+		sd, err := ds.Shards(*shards)
+		if err != nil {
+			fail(err)
+		}
+		ds = sd.Dataset()
 	}
 
 	var res *cluster.Result

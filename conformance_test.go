@@ -25,6 +25,10 @@ import (
 //  5. More restarts never worsen the best score under a fixed seed split.
 //  6. A *Dataset is safe for concurrent readers: independent Run calls of
 //     every algorithm may share one dataset (meaningful under -race).
+//  7. Sharded-vs-flat invariance: re-backing the dataset as contiguous
+//     row-range shards (dataset.Shards) changes memory layout only — every
+//     (shards, workers, chunk) combination reproduces the flat Result byte
+//     for byte, and single-restart sharded runs still hit the golden pins.
 
 // confRun carries the engine knobs a conformance driver forwards.
 type confRun struct {
@@ -46,7 +50,7 @@ type confAlgo struct {
 	goldenSeed int64
 	restarts   int  // multi-restart count for the invariance legs
 	earlyStop  bool // has a streaming EarlyStop knob
-	run        func(gt *GroundTruth, r confRun) (*Result, error)
+	run        func(ds *Dataset, r confRun) (*Result, error)
 }
 
 func conformanceAlgos() []confAlgo {
@@ -54,64 +58,64 @@ func conformanceAlgos() []confAlgo {
 		{
 			name: "SSPC", golden: "5c33774cfd995ba7 score=0.176140223125",
 			goldenSeed: 5, restarts: 6, earlyStop: true,
-			run: func(gt *GroundTruth, r confRun) (*Result, error) {
+			run: func(ds *Dataset, r confRun) (*Result, error) {
 				opts := DefaultOptions(3)
 				opts.Seed = r.seed
 				opts.Restarts = r.restarts
 				opts.Workers = r.workers
 				opts.ChunkSize = r.chunkSize
 				opts.EarlyStop = r.earlyStop
-				return Cluster(gt.Data, opts)
+				return Cluster(ds, opts)
 			},
 		},
 		{
 			name: "PROCLUS", golden: "806061b7eb1d1ee0 score=4.3429625545",
 			goldenSeed: 7, restarts: 6, earlyStop: true,
-			run: func(gt *GroundTruth, r confRun) (*Result, error) {
+			run: func(ds *Dataset, r confRun) (*Result, error) {
 				opts := PROCLUSDefaults(3, 6)
 				opts.Seed = r.seed
 				opts.Restarts = r.restarts
 				opts.Workers = r.workers
 				opts.ChunkSize = r.chunkSize
 				opts.EarlyStop = r.earlyStop
-				return PROCLUS(gt.Data, opts)
+				return PROCLUS(ds, opts)
 			},
 		},
 		{
 			name: "CLARANS", golden: "18464aced1dab249 score=33501.7748117",
 			goldenSeed: 9, restarts: 4,
-			run: func(gt *GroundTruth, r confRun) (*Result, error) {
+			run: func(ds *Dataset, r confRun) (*Result, error) {
 				opts := CLARANSDefaults(3)
 				opts.Seed = r.seed
 				opts.Restarts = r.restarts
 				opts.Workers = r.workers
 				opts.ChunkSize = r.chunkSize
-				return CLARANS(gt.Data, opts)
+				return CLARANS(ds, opts)
 			},
 		},
 		{
 			name: "DOC", golden: "898ce57dcac9acc8 score=34.9990990861",
 			goldenSeed: 11, restarts: 4, earlyStop: true,
-			run: func(gt *GroundTruth, r confRun) (*Result, error) {
+			run: func(ds *Dataset, r confRun) (*Result, error) {
 				opts := DOCDefaults(3, 15)
 				opts.Seed = r.seed
 				opts.Restarts = r.restarts
 				opts.Workers = r.workers
 				opts.ChunkSize = r.chunkSize
 				opts.EarlyStop = r.earlyStop
-				return DOC(gt.Data, opts)
+				return DOC(ds, opts)
 			},
 		},
 		{
 			name: "HARP", golden: "f1b9c1627ce202c5 score=16.5321083411",
 			goldenSeed: 0, restarts: 4,
-			run: func(gt *GroundTruth, r confRun) (*Result, error) {
+			run: func(ds *Dataset, r confRun) (*Result, error) {
 				opts := HARPDefaults(3)
 				opts.Seed = r.seed
 				opts.Restarts = r.restarts
 				opts.Workers = r.workers
 				opts.ChunkSize = r.chunkSize
-				return HARP(gt.Data, opts)
+				return HARP(ds, opts)
 			},
 		},
 	}
@@ -125,7 +129,7 @@ func TestConformanceRestartZeroBaseSeed(t *testing.T) {
 	for _, a := range conformanceAlgos() {
 		a := a
 		t.Run(a.name, func(t *testing.T) {
-			res, err := a.run(gt, confRun{seed: a.goldenSeed, restarts: 1, workers: 1})
+			res, err := a.run(gt.Data, confRun{seed: a.goldenSeed, restarts: 1, workers: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -143,11 +147,11 @@ func TestConformanceWorkersInvariance(t *testing.T) {
 	for _, a := range conformanceAlgos() {
 		a := a
 		t.Run(a.name, func(t *testing.T) {
-			serial, err := a.run(gt, confRun{seed: 3, restarts: a.restarts, workers: 1})
+			serial, err := a.run(gt.Data, confRun{seed: 3, restarts: a.restarts, workers: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
-			parallel, err := a.run(gt, confRun{seed: 3, restarts: a.restarts, workers: 8})
+			parallel, err := a.run(gt.Data, confRun{seed: 3, restarts: a.restarts, workers: 8})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -171,7 +175,7 @@ func TestConformanceChunkSizeInvariance(t *testing.T) {
 		t.Run(a.name, func(t *testing.T) {
 			for _, chunkSize := range []int{1, 7, 512, 1 << 20} {
 				for _, workers := range []int{1, 8} {
-					res, err := a.run(gt, confRun{
+					res, err := a.run(gt.Data, confRun{
 						seed: a.goldenSeed, restarts: 1,
 						workers: workers, chunkSize: chunkSize,
 					})
@@ -199,12 +203,12 @@ func TestConformanceEarlyStopCapReproducesFixed(t *testing.T) {
 			continue
 		}
 		t.Run(a.name, func(t *testing.T) {
-			fixed, err := a.run(gt, confRun{seed: 3, restarts: a.restarts, workers: 1})
+			fixed, err := a.run(gt.Data, confRun{seed: 3, restarts: a.restarts, workers: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, workers := range []int{1, 8} {
-				streamed, err := a.run(gt, confRun{
+				streamed, err := a.run(gt.Data, confRun{
 					seed: 3, restarts: a.restarts, workers: workers, earlyStop: a.restarts,
 				})
 				if err != nil {
@@ -227,17 +231,74 @@ func TestConformanceMoreRestartsNeverWorse(t *testing.T) {
 	for _, a := range conformanceAlgos() {
 		a := a
 		t.Run(a.name, func(t *testing.T) {
-			single, err := a.run(gt, confRun{seed: 2, restarts: 1})
+			single, err := a.run(gt.Data, confRun{seed: 2, restarts: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
-			multi, err := a.run(gt, confRun{seed: 2, restarts: a.restarts})
+			multi, err := a.run(gt.Data, confRun{seed: 2, restarts: a.restarts})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if single.Better(single.Score, multi.Score) {
 				t.Errorf("best of %d restarts (%v) worse than restart 0 alone (%v)",
 					a.restarts, multi.Score, single.Score)
+			}
+		})
+	}
+}
+
+// TestConformanceShardedVsFlat is the storage-invariance leg: for every
+// algorithm, clustering a shard-backed copy of the fixture returns a Result
+// byte-identical to clustering the flat original, for every combination of
+// shard count, worker count, and chunk size — and the single-restart sharded
+// run still reproduces the pre-engine golden pin, so sharding is proven
+// invisible end to end (values, merged column stats, chunk alignment, and
+// all five algorithms' hot loops).
+func TestConformanceShardedVsFlat(t *testing.T) {
+	gt := detFixture(t)
+	shardCounts := []int{1, 3, 7}
+	workerCounts := []int{1, 8}
+	chunkSizes := []int{0, 7}
+
+	shardedData := make([]*Dataset, len(shardCounts))
+	for i, shards := range shardCounts {
+		sd, err := ShardDataset(gt.Data, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardedData[i] = sd.Dataset()
+	}
+
+	for _, a := range conformanceAlgos() {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			for i, shards := range shardCounts {
+				res, err := a.run(shardedData[i], confRun{seed: a.goldenSeed, restarts: 1, workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := fingerprint(res); got != a.golden {
+					t.Errorf("shards=%d: fingerprint = %s, want %s", shards, got, a.golden)
+				}
+			}
+			for _, workers := range workerCounts {
+				for _, chunk := range chunkSizes {
+					r := confRun{seed: 3, restarts: a.restarts, workers: workers, chunkSize: chunk}
+					flat, err := a.run(gt.Data, r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, shards := range shardCounts {
+						sharded, err := a.run(shardedData[i], r)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(flat, sharded) {
+							t.Errorf("shards=%d workers=%d chunk=%d diverged from flat:\n  flat:    %s\n  sharded: %s",
+								shards, workers, chunk, fingerprint(flat), fingerprint(sharded))
+						}
+					}
+				}
 			}
 		})
 	}
@@ -257,7 +318,7 @@ func TestConformanceConcurrentSharedDataset(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				if _, err := a.run(gt, confRun{seed: seed, restarts: 2}); err != nil {
+				if _, err := a.run(gt.Data, confRun{seed: seed, restarts: 2}); err != nil {
 					t.Errorf("%s: %v", a.name, err)
 				}
 			}()

@@ -1,0 +1,130 @@
+package sspc
+
+import (
+	"go/format"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The docs suite's CI gates: intra-repo links in every Markdown file must
+// resolve, and fenced Go blocks must be gofmt-clean — so the operator guides
+// (docs/PERFORMANCE.md, docs/DATASETS.md, ARCHITECTURE.md, ...) cannot rot
+// silently as files move or the style drifts. The CI docs job runs exactly
+// these tests (`go test -run TestDocs .`).
+
+// walkMarkdown visits every tracked .md file under the repository root.
+func walkMarkdown(t *testing.T, visit func(path string, content string)) {
+	t.Helper()
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		seen++
+		visit(path, string(data))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen < 5 {
+		t.Fatalf("walked only %d markdown files — wrong working directory?", seen)
+	}
+}
+
+// mdLink matches inline Markdown links and images: [text](target) and
+// ![alt](target). Reference-style links are not used in this repository.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// anyFence matches any fenced code block; inlineCode matches `code` spans.
+// Both are stripped before link scanning so code like handlers[i](ctx) is
+// never mistaken for a Markdown link.
+var (
+	anyFence   = regexp.MustCompile("(?ms)^```.*?^```")
+	inlineCode = regexp.MustCompile("`[^`\n]*`")
+)
+
+// stripCode removes fenced code blocks and inline code spans.
+func stripCode(content string) string {
+	return inlineCode.ReplaceAllString(anyFence.ReplaceAllString(content, ""), "")
+}
+
+// TestDocsIntraRepoLinks: every relative link target in every Markdown file
+// must exist on disk. External URLs and pure in-page anchors are skipped;
+// a target's own #anchor suffix is stripped before the existence check.
+func TestDocsIntraRepoLinks(t *testing.T) {
+	walkMarkdown(t, func(path, content string) {
+		rel, _ := filepath.Rel(mustGetwd(t), path)
+		for _, m := range mdLink.FindAllStringSubmatch(stripCode(content), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken intra-repo link %q (%v)", rel, m[1], err)
+			}
+		}
+	})
+}
+
+// goFence matches fenced Go code blocks.
+var goFence = regexp.MustCompile("(?ms)^```go\n(.*?)^```")
+
+// TestDocsGoBlocksGofmt: every fenced Go block in every Markdown file must
+// be gofmt-formatted (the fenced equivalent of the repo-wide `gofmt -l`
+// gate), so copy-pasting from the guides yields idiomatic code and style
+// drift in the docs shows up in CI, not in review.
+func TestDocsGoBlocksGofmt(t *testing.T) {
+	walkMarkdown(t, func(path, content string) {
+		rel, _ := filepath.Rel(mustGetwd(t), path)
+		for i, m := range goFence.FindAllStringSubmatch(content, -1) {
+			snippet := m[1]
+			formatted, err := format.Source([]byte(snippet))
+			if err != nil {
+				t.Errorf("%s: go block %d does not parse: %v\n%s", rel, i+1, err, snippet)
+				continue
+			}
+			if got := string(formatted); strings.TrimRight(got, "\n") != strings.TrimRight(snippet, "\n") {
+				t.Errorf("%s: go block %d is not gofmt-clean; want:\n%s", rel, i+1, got)
+			}
+		}
+	})
+}
+
+func mustGetwd(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}

@@ -108,6 +108,10 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if chunkSize <= 0 {
 		chunkSize = 512
 	}
+	// On a shard-backed dataset, chunk = shard: each worker's assignment
+	// scan stays inside one shard's backing memory. Output is unchanged
+	// either way.
+	chunkSize = engine.AlignChunk(chunkSize, ds.ShardRows())
 	assign := make([]int, n)
 	engine.ParallelChunks(n, chunkSize, engine.DefaultWorkers(opts.Workers), func(_, lo, hi int) {
 		for p := lo; p < hi; p++ {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 )
 
 // ThresholdScheme selects how the dimension-selection threshold ŝ²_ij is
@@ -214,6 +215,9 @@ func (o Options) normalized(ds *dataset.Dataset) (Options, error) {
 	if o.ChunkSize <= 0 {
 		o.ChunkSize = 512
 	}
+	// On a shard-backed dataset, chunk = shard: each worker's scan stays
+	// inside one shard's backing memory. Output is unchanged either way.
+	o.ChunkSize = engine.AlignChunk(o.ChunkSize, ds.ShardRows())
 	if err := o.Knowledge.Validate(ds.N(), ds.D(), o.K); err != nil {
 		return o, err
 	}

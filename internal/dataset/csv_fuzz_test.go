@@ -39,7 +39,9 @@ var fuzzSeedInputs = []string{
 }
 
 // FuzzReadCSV: ReadCSV(arbitrary bytes) must either fail or produce a
-// non-empty rectangular dataset of finite values.
+// non-empty rectangular dataset of finite values — and the streaming sharded
+// reader must agree with it exactly: same accept/reject decision, and on
+// success the same values behind the shard-backed storage.
 func FuzzReadCSV(f *testing.F) {
 	for _, s := range fuzzSeedInputs {
 		f.Add(s, false)
@@ -47,10 +49,25 @@ func FuzzReadCSV(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, input string, header bool) {
 		ds, err := ReadCSV(strings.NewReader(input), header)
+		sd, serr := ReadCSVSharded(strings.NewReader(input), header, ShardedReadOptions{ShardRows: 2})
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("loaders disagree: ReadCSV err = %v, ReadCSVSharded err = %v", err, serr)
+		}
 		if err != nil {
 			return
 		}
 		requireFiniteRectangular(t, ds)
+		requireFiniteRectangular(t, sd.Dataset())
+		if sd.N() != ds.N() || sd.D() != ds.D() {
+			t.Fatalf("sharded shape %dx%d, flat %dx%d", sd.N(), sd.D(), ds.N(), ds.D())
+		}
+		for i := 0; i < ds.N(); i++ {
+			for j := 0; j < ds.D(); j++ {
+				if ds.At(i, j) != sd.Dataset().At(i, j) {
+					t.Fatalf("value (%d,%d): flat %v, sharded %v", i, j, ds.At(i, j), sd.Dataset().At(i, j))
+				}
+			}
+		}
 	})
 }
 

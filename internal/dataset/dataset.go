@@ -15,13 +15,31 @@ import (
 
 // Dataset is an n×d matrix of float64 values stored row-major. Objects are
 // rows; dimensions are columns. The zero value is unusable: construct with
-// New or FromRows.
+// New, FromRows, or the sharded constructors (Shards, ReadCSVSharded).
+//
+// The storage behind the matrix is either flat (one contiguous backing
+// slice, the default) or shard-backed: the rows partitioned into contiguous
+// row ranges of shardRows rows each, every shard with its own backing slice
+// so a worker scanning one shard touches no other shard's memory. The two
+// layouts hold identical values and are observationally identical through
+// every accessor — sharding is a storage/locality decision, never a
+// semantic one (pinned by TestConformanceShardedVsFlat).
 //
 // A Dataset is safe for concurrent readers (the parallel restart engine
 // shares one Dataset across all workers); Set must not race with readers.
 type Dataset struct {
 	n, d int
-	data []float64 // row-major, len n*d
+
+	// Exactly one of data / shards backs the matrix.
+	data      []float64   // flat row-major backing; nil when shard-backed
+	shards    [][]float64 // per-shard row-major backings; nil when flat
+	shardRows int         // rows per shard (last may be shorter); 0 when flat
+
+	// partials holds the per-shard column-stat partials (min/max per shard)
+	// captured when the shards were built; nil for flat storage or after a
+	// Set invalidated them. Immutable once the dataset is published; merged
+	// on demand by ensureStats.
+	partials []shardPartial
 
 	// Lazily computed per-dimension statistics over all n objects, published
 	// as one immutable snapshot so concurrent readers never observe a
@@ -76,45 +94,81 @@ func (ds *Dataset) N() int { return ds.n }
 func (ds *Dataset) D() int { return ds.d }
 
 // At returns the value of object i on dimension j.
-func (ds *Dataset) At(i, j int) float64 { return ds.data[i*ds.d+j] }
+func (ds *Dataset) At(i, j int) float64 {
+	if ds.data != nil {
+		return ds.data[i*ds.d+j]
+	}
+	s := i / ds.shardRows
+	return ds.shards[s][(i-s*ds.shardRows)*ds.d+j]
+}
 
 // Set assigns the value of object i on dimension j and invalidates the
-// cached column statistics. Set must not be called while other goroutines
-// read the dataset (mutate first, then cluster).
+// cached column statistics (including any per-shard partials). Set must not
+// be called while other goroutines read the dataset (mutate first, then
+// cluster).
 func (ds *Dataset) Set(i, j int, v float64) {
-	ds.data[i*ds.d+j] = v
+	if ds.data != nil {
+		ds.data[i*ds.d+j] = v
+	} else {
+		s := i / ds.shardRows
+		ds.shards[s][(i-s*ds.shardRows)*ds.d+j] = v
+	}
+	ds.partials = nil
 	ds.stats.Store(nil)
 }
 
 // Row returns object i's values as a slice sharing the dataset's storage.
-// Callers must not modify it; use Set for writes.
+// Callers must not modify it; use Set for writes. Rows are contiguous in
+// both layouts (a row never straddles a shard boundary).
 func (ds *Dataset) Row(i int) []float64 {
-	return ds.data[i*ds.d : (i+1)*ds.d : (i+1)*ds.d]
+	if ds.data != nil {
+		return ds.data[i*ds.d : (i+1)*ds.d : (i+1)*ds.d]
+	}
+	s := i / ds.shardRows
+	off := (i - s*ds.shardRows) * ds.d
+	return ds.shards[s][off : off+ds.d : off+ds.d]
 }
 
 // Col gathers dimension j's values into a freshly allocated slice.
 func (ds *Dataset) Col(j int) []float64 {
-	out := make([]float64, ds.n)
-	for i := 0; i < ds.n; i++ {
-		out[i] = ds.data[i*ds.d+j]
-	}
-	return out
+	return ds.ColInto(j, make([]float64, ds.n))
 }
 
 // ColInto gathers dimension j into dst (len >= n) and returns dst[:n],
 // avoiding an allocation on hot paths.
 func (ds *Dataset) ColInto(j int, dst []float64) []float64 {
 	dst = dst[:ds.n]
-	for i := 0; i < ds.n; i++ {
-		dst[i] = ds.data[i*ds.d+j]
+	if ds.data != nil {
+		for i := 0; i < ds.n; i++ {
+			dst[i] = ds.data[i*ds.d+j]
+		}
+		return dst
+	}
+	next := 0
+	for _, blk := range ds.shards {
+		for off := j; off < len(blk); off += ds.d {
+			dst[next] = blk[off]
+			next++
+		}
 	}
 	return dst
 }
 
 // ensureStats returns the per-column mean/variance/min/max snapshot,
-// computing it in one pass on first use. Concurrent first calls may compute
-// it redundantly; the computation is deterministic, so whichever snapshot
-// wins the publish is indistinguishable from the others.
+// computing it on first use. Concurrent first calls may compute it
+// redundantly; the computation is deterministic, so whichever snapshot wins
+// the publish is indistinguishable from the others.
+//
+// The snapshot is byte-identical for flat and shard-backed storage of the
+// same values. Min/max merge exactly from the per-shard partials in any
+// order (comparisons are exact), so a shard-backed dataset reuses the
+// partials captured at ingestion. Mean and variance deliberately do NOT
+// merge from per-shard accumulators: floating-point addition is
+// order-sensitive, and a pairwise merge of per-shard Welford states would
+// differ from the flat pass in the last bits — enough to move SSPC's
+// selection thresholds off the golden pins. Instead the Welford recurrence
+// runs over rows in index order in both layouts: the ordered serial
+// reduction of the determinism contract, applied to statistics.
 func (ds *Dataset) ensureStats() *colStats {
 	if st := ds.stats.Load(); st != nil {
 		return st
@@ -122,25 +176,30 @@ func (ds *Dataset) ensureStats() *colStats {
 	d := ds.d
 	mean := make([]float64, d)
 	m2 := make([]float64, d)
-	mn := make([]float64, d)
-	mx := make([]float64, d)
-	for j := 0; j < d; j++ {
-		mn[j] = math.Inf(1)
-		mx[j] = math.Inf(-1)
+	mn, mx := ds.mergedMinMax()
+	track := mn == nil
+	if track {
+		mn = make([]float64, d)
+		mx = make([]float64, d)
+		for j := 0; j < d; j++ {
+			mn[j] = math.Inf(1)
+			mx[j] = math.Inf(-1)
+		}
 	}
 	for i := 0; i < ds.n; i++ {
-		base := i * d
+		row := ds.Row(i)
 		cnt := float64(i + 1)
-		for j := 0; j < d; j++ {
-			v := ds.data[base+j]
+		for j, v := range row {
 			delta := v - mean[j]
 			mean[j] += delta / cnt
 			m2[j] += delta * (v - mean[j])
-			if v < mn[j] {
-				mn[j] = v
-			}
-			if v > mx[j] {
-				mx[j] = v
+			if track {
+				if v < mn[j] {
+					mn[j] = v
+				}
+				if v > mx[j] {
+					mx[j] = v
+				}
 			}
 		}
 	}
@@ -230,10 +289,20 @@ func (ds *Dataset) MeanVector(objs []int) []float64 {
 	return out
 }
 
-// Clone returns a deep copy of the dataset (statistics cache not copied).
+// Clone returns a deep copy of the dataset, preserving the storage layout
+// (flat stays flat, shard-backed stays shard-backed with the same shard
+// boundaries and stat partials). The statistics snapshot is not copied.
 func (ds *Dataset) Clone() *Dataset {
-	out := &Dataset{n: ds.n, d: ds.d, data: make([]float64, len(ds.data))}
-	copy(out.data, ds.data)
+	out := &Dataset{n: ds.n, d: ds.d, shardRows: ds.shardRows}
+	if ds.data != nil {
+		out.data = append([]float64(nil), ds.data...)
+		return out
+	}
+	out.shards = make([][]float64, len(ds.shards))
+	for s, blk := range ds.shards {
+		out.shards[s] = append([]float64(nil), blk...)
+	}
+	out.partials = append([]shardPartial(nil), ds.partials...)
 	return out
 }
 

@@ -1,0 +1,351 @@
+package dataset
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// randomDataset builds a deterministic n×d test matrix with a few negative,
+// large, and tiny values so min/max and variance have something to chew on.
+func randomDataset(t *testing.T, n, d int, seed int64) *Dataset {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	ds, err := New(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			ds.Set(i, j, (rng.Float64()-0.5)*1e3)
+		}
+	}
+	return ds
+}
+
+// requireSameValues asserts a and b expose identical shapes and bitwise
+// identical values through every accessor.
+func requireSameValues(t *testing.T, a, b *Dataset) {
+	t.Helper()
+	if a.N() != b.N() || a.D() != b.D() {
+		t.Fatalf("shape %dx%d vs %dx%d", a.N(), a.D(), b.N(), b.D())
+	}
+	for i := 0; i < a.N(); i++ {
+		if !reflect.DeepEqual(a.Row(i), b.Row(i)) {
+			t.Fatalf("row %d differs", i)
+		}
+		for j := 0; j < a.D(); j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("At(%d,%d): %v vs %v", i, j, a.At(i, j), b.At(i, j))
+			}
+		}
+	}
+	for j := 0; j < a.D(); j++ {
+		if !reflect.DeepEqual(a.Col(j), b.Col(j)) {
+			t.Fatalf("col %d differs", j)
+		}
+	}
+}
+
+// requireSameStats asserts bitwise-identical column statistics — the
+// sharded-vs-flat byte-identity guarantee of the determinism contract.
+func requireSameStats(t *testing.T, a, b *Dataset) {
+	t.Helper()
+	for j := 0; j < a.D(); j++ {
+		if a.ColMean(j) != b.ColMean(j) {
+			t.Errorf("col %d mean: %v vs %v", j, a.ColMean(j), b.ColMean(j))
+		}
+		if a.ColVariance(j) != b.ColVariance(j) {
+			t.Errorf("col %d variance: %v vs %v", j, a.ColVariance(j), b.ColVariance(j))
+		}
+		if a.ColMin(j) != b.ColMin(j) {
+			t.Errorf("col %d min: %v vs %v", j, a.ColMin(j), b.ColMin(j))
+		}
+		if a.ColMax(j) != b.ColMax(j) {
+			t.Errorf("col %d max: %v vs %v", j, a.ColMax(j), b.ColMax(j))
+		}
+	}
+}
+
+// TestShardsPartition checks the shard geometry: contiguous row ranges
+// covering [0, n) in order, every shard with its own backing slice of the
+// right length, no shard empty.
+func TestShardsPartition(t *testing.T) {
+	ds := randomDataset(t, 23, 4, 1)
+	for _, k := range []int{1, 2, 3, 5, 23} {
+		sd, err := ds.Shards(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sd.N() != 23 || sd.D() != 4 {
+			t.Fatalf("Shards(%d): shape %dx%d", k, sd.N(), sd.D())
+		}
+		next := 0
+		for s := 0; s < sd.NumShards(); s++ {
+			sh := sd.Shard(s)
+			if sh.Lo != next {
+				t.Fatalf("Shards(%d): shard %d starts at %d, want %d", k, s, sh.Lo, next)
+			}
+			if sh.Hi <= sh.Lo {
+				t.Fatalf("Shards(%d): shard %d empty [%d,%d)", k, s, sh.Lo, sh.Hi)
+			}
+			if len(sh.Data) != (sh.Hi-sh.Lo)*4 {
+				t.Fatalf("Shards(%d): shard %d backing has %d values for %d rows",
+					k, s, len(sh.Data), sh.Hi-sh.Lo)
+			}
+			next = sh.Hi
+		}
+		if next != 23 {
+			t.Fatalf("Shards(%d): shards cover [0,%d), want [0,23)", k, next)
+		}
+		requireSameValues(t, ds, sd.Dataset())
+	}
+}
+
+// TestShardsFewerRowsThanShards: k > n clamps to one row per shard — never
+// an empty shard.
+func TestShardsFewerRowsThanShards(t *testing.T) {
+	ds := randomDataset(t, 3, 2, 2)
+	sd, err := ds.Shards(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.NumShards() != 3 {
+		t.Fatalf("NumShards = %d, want 3 (one row each)", sd.NumShards())
+	}
+	for s := 0; s < sd.NumShards(); s++ {
+		if sh := sd.Shard(s); sh.Hi-sh.Lo != 1 {
+			t.Fatalf("shard %d spans %d rows, want 1", s, sh.Hi-sh.Lo)
+		}
+	}
+	requireSameValues(t, ds, sd.Dataset())
+	requireSameStats(t, ds, sd.Dataset())
+}
+
+// TestShardsInvalidCount: a non-positive shard count is an error.
+func TestShardsInvalidCount(t *testing.T) {
+	ds := randomDataset(t, 3, 2, 2)
+	for _, k := range []int{0, -1} {
+		if _, err := ds.Shards(k); err == nil {
+			t.Errorf("Shards(%d) accepted", k)
+		}
+	}
+}
+
+// TestShardsSingleEquivalentToFlat: Shards(1) is one shard holding the whole
+// matrix, observationally identical to the flat dataset — values and
+// statistics bit for bit.
+func TestShardsSingleEquivalentToFlat(t *testing.T) {
+	ds := randomDataset(t, 17, 5, 3)
+	sd, err := ds.Shards(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", sd.NumShards())
+	}
+	if !sd.Dataset().IsSharded() || ds.IsSharded() {
+		t.Fatal("IsSharded: sharded copy must report true, flat original false")
+	}
+	requireSameValues(t, ds, sd.Dataset())
+	requireSameStats(t, ds, sd.Dataset())
+}
+
+// TestShardedStatsMatchFlat: the merged statistics snapshot of every shard
+// count is bitwise identical to the flat snapshot, including after a Set
+// invalidated the captured per-shard partials.
+func TestShardedStatsMatchFlat(t *testing.T) {
+	ds := randomDataset(t, 101, 7, 4)
+	for _, k := range []int{2, 3, 8, 101} {
+		sd, err := ds.Shards(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameStats(t, ds, sd.Dataset())
+
+		// Mutate both copies identically: the sharded dataset drops its
+		// partials and must recompute the same bits from scratch.
+		flat := ds.Clone()
+		flat.Set(50, 3, 1234.5)
+		sh := sd.Dataset()
+		sh.Set(50, 3, 1234.5)
+		if len(sh.partials) != 0 {
+			t.Fatal("Set left stale per-shard partials behind")
+		}
+		requireSameStats(t, flat, sh)
+	}
+}
+
+// TestShardedClonePreservesLayout: Clone of a sharded dataset stays sharded
+// with the same boundaries, values, and statistics.
+func TestShardedClonePreservesLayout(t *testing.T) {
+	ds := randomDataset(t, 31, 3, 5)
+	sd, err := ds.Shards(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := sd.Dataset().Clone()
+	if cl.ShardRows() != sd.ShardRows() {
+		t.Fatalf("clone ShardRows = %d, want %d", cl.ShardRows(), sd.ShardRows())
+	}
+	requireSameValues(t, sd.Dataset(), cl)
+	requireSameStats(t, ds, cl)
+	// The clone's storage must be independent of the original's.
+	cl.Set(0, 0, -9999)
+	if sd.Dataset().At(0, 0) == -9999 {
+		t.Fatal("clone shares shard backing with the original")
+	}
+}
+
+// TestShardedStatsConcurrentReaders races the lazy stats merge: many
+// goroutines trigger ensureStats on one sharded dataset concurrently while
+// others read rows (meaningful under -race), and every observed snapshot
+// must equal the flat one.
+func TestShardedStatsConcurrentReaders(t *testing.T) {
+	ds := randomDataset(t, 257, 6, 6)
+	sd, err := ds.Shards(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := sd.Dataset()
+	want := make([]float64, ds.D())
+	for j := range want {
+		want[j] = ds.ColVariance(j)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < sh.D(); j++ {
+				if got := sh.ColVariance(j); got != want[j] {
+					t.Errorf("goroutine %d: col %d variance %v, want %v", g, j, got, want[j])
+				}
+				if sh.ColMin(j) > sh.ColMax(j) {
+					t.Errorf("goroutine %d: col %d min > max", g, j)
+				}
+			}
+			for i := 0; i < sh.N(); i++ {
+				_ = sh.Row(i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestReadCSVShardedMatchesFlat: the streaming sharded reader accepts the
+// same inputs as ReadCSV with identical values, shard geometry follows
+// ShardRows, and the progress callback reports monotone totals ending at the
+// final counts.
+func TestReadCSVShardedMatchesFlat(t *testing.T) {
+	const csvData = "1,2,3\n4,5,6\n7,8,9\n10,11,12\n13,14,15\n"
+	const csvHeader = "a,b,c\n" + csvData
+
+	for _, tc := range []struct {
+		name      string
+		input     string
+		header    bool
+		shardRows int
+		shards    int
+	}{
+		{"exact multiple", csvData, false, 5, 1},
+		{"partial last shard", csvData, false, 2, 3},
+		{"one row per shard", csvData, false, 1, 5},
+		{"budget beyond n", csvData, false, 100, 1},
+		{"header", csvHeader, true, 2, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			flat, err := ReadCSV(strings.NewReader(tc.input), tc.header)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rowsSeen, shardsSeen int
+			sd, err := ReadCSVSharded(strings.NewReader(tc.input), tc.header, ShardedReadOptions{
+				ShardRows: tc.shardRows,
+				Progress: func(rows, shards int) {
+					if rows < rowsSeen || shards != shardsSeen+1 {
+						t.Errorf("progress went (%d,%d) after (%d,%d)", rows, shards, rowsSeen, shardsSeen)
+					}
+					rowsSeen, shardsSeen = rows, shards
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sd.NumShards() != tc.shards {
+				t.Errorf("NumShards = %d, want %d", sd.NumShards(), tc.shards)
+			}
+			if rowsSeen != flat.N() || shardsSeen != tc.shards {
+				t.Errorf("final progress (%d,%d), want (%d,%d)", rowsSeen, shardsSeen, flat.N(), tc.shards)
+			}
+			requireSameValues(t, flat, sd.Dataset())
+			requireSameStats(t, flat, sd.Dataset())
+		})
+	}
+}
+
+// TestReadCSVShardedHugeBudget: an absurd ShardRows budget must not
+// preallocate (or overflow into) a giant backing slice — the whole input
+// lands in one modest shard regardless.
+func TestReadCSVShardedHugeBudget(t *testing.T) {
+	sd, err := ReadCSVSharded(strings.NewReader("1,2\n3,4\n"), false, ShardedReadOptions{ShardRows: math.MaxInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.NumShards() != 1 || sd.N() != 2 || sd.D() != 2 {
+		t.Fatalf("got %d shards of %dx%d", sd.NumShards(), sd.N(), sd.D())
+	}
+	if sh := sd.Shard(0); len(sh.Data) != 4 {
+		t.Fatalf("shard backing holds %d values, want 4", len(sh.Data))
+	}
+}
+
+// TestReadCSVShardedRejects: the sharded reader enforces the same contract
+// as the flat loader — ragged rows, non-finite values, empty input — plus a
+// positive ShardRows.
+func TestReadCSVShardedRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		input string
+	}{
+		{"ragged short", "1,2\n3\n"},
+		{"ragged long", "1,2\n3,4,5\n"},
+		{"NaN", "NaN,1\n2,3\n"},
+		{"Inf", "Inf,1\n2,3\n"},
+		{"overflow", "1e309,0\n"},
+		{"non-numeric", "1,2\n3,x\n"},
+		{"empty", ""},
+		{"header only", "a,b\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			header := tc.name == "header only"
+			if _, err := ReadCSVSharded(strings.NewReader(tc.input), header, ShardedReadOptions{ShardRows: 2}); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+	if _, err := ReadCSVSharded(strings.NewReader("1,2\n"), false, ShardedReadOptions{}); err == nil {
+		t.Error("ShardRows = 0 accepted")
+	}
+}
+
+// TestShardedNonFiniteNeverSurvives mirrors the fuzz loaders' finiteness
+// leg for the sharded reader on a near-miss input: values that round to
+// finite floats must load, spellings of infinity must not.
+func TestShardedNonFiniteNeverSurvives(t *testing.T) {
+	sd, err := ReadCSVSharded(strings.NewReader("1e308,-1e308\n0,0\n"), false, ShardedReadOptions{ShardRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sd.N(); i++ {
+		for j := 0; j < sd.D(); j++ {
+			if v := sd.Dataset().At(i, j); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite %v at (%d,%d)", v, i, j)
+			}
+		}
+	}
+}

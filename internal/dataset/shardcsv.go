@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// maxShardPrealloc bounds the float64s (~8 MB) preallocated per shard
+// before any rows arrive; shards whose ShardRows budget exceeds it grow by
+// append instead.
+const maxShardPrealloc = 1 << 20
+
+// ShardedReadOptions configures ReadCSVSharded.
+type ShardedReadOptions struct {
+	// ShardRows is the number of rows per shard; the last shard may be
+	// shorter. Required: must be positive.
+	ShardRows int
+
+	// Progress, when non-nil, is called on the ingesting goroutine after
+	// every sealed shard with the number of rows ingested so far and the
+	// number of sealed shards. Every row ends up in a sealed shard, so the
+	// last call always reports the final totals.
+	Progress func(rows, shards int)
+}
+
+// ReadCSVSharded streams numeric CSV data directly into a sharded dataset:
+// rows are parsed one record at a time and appended to the current shard's
+// backing slice, which is sealed (and its column-stat partial captured) every
+// opts.ShardRows rows. Peak memory is the matrix itself plus one CSV record —
+// the one giant [][]string and [][]float64 intermediates of ReadCSV are never
+// materialized, so the ingester handles datasets near the machine's memory
+// ceiling.
+//
+// The accepted input language is exactly ReadCSV's: when header is true the
+// first record is skipped, every field must parse as a finite float64
+// (NaN/Inf spellings and overflow are rejected), all rows must have the width
+// of the first data row, and input with no data rows is an error. An input is
+// accepted by ReadCSVSharded iff it is accepted by ReadCSV, with identical
+// values (fuzz-pinned by FuzzReadCSV).
+func ReadCSVSharded(r io.Reader, header bool, opts ShardedReadOptions) (*ShardedDataset, error) {
+	if opts.ShardRows <= 0 {
+		return nil, fmt.Errorf("dataset: ReadCSVSharded: ShardRows = %d must be positive", opts.ShardRows)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // width is checked against the first data row
+	cr.ReuseRecord = true
+
+	out := &Dataset{shardRows: opts.ShardRows}
+	var cur []float64 // current (unsealed) shard
+	rows := 0
+	seal := func() {
+		out.shards = append(out.shards, cur)
+		out.partials = append(out.partials, newShardPartial(cur, out.d))
+		cur = nil
+		if opts.Progress != nil {
+			opts.Progress(rows, len(out.shards))
+		}
+	}
+
+	skipHeader := header
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv parse: %w", err)
+		}
+		if skipHeader {
+			skipHeader = false
+			continue
+		}
+		if rows == 0 {
+			out.d = len(rec)
+		} else if len(rec) != out.d {
+			return nil, fmt.Errorf("dataset: row %d has %d values, want %d", rows, len(rec), out.d)
+		}
+		if cur == nil {
+			// Preallocate the shard backing, but never trust ShardRows
+			// blindly: an oversized budget (legal — the whole input may be
+			// one shard) would allocate gigabytes for a tiny file, or
+			// overflow ShardRows*d outright. Beyond the cap, append grows
+			// the slice geometrically as rows actually arrive.
+			rowsCap := opts.ShardRows
+			if limit := maxShardPrealloc/out.d + 1; rowsCap > limit {
+				rowsCap = limit
+			}
+			cur = make([]float64, 0, rowsCap*out.d)
+		}
+		for j, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d col %d: %w", rows, j, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset: non-finite value at (%d,%d)", rows, j)
+			}
+			cur = append(cur, v)
+		}
+		rows++
+		if rows%opts.ShardRows == 0 {
+			seal()
+		}
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("dataset: csv has no data rows")
+	}
+	if cur != nil {
+		seal()
+	}
+	out.n = rows
+	if out.d == 0 {
+		// A CSV record always has at least one field, so d == 0 cannot be
+		// reached with rows > 0; guard anyway to keep the invariant obvious.
+		return nil, fmt.Errorf("dataset: csv has no columns")
+	}
+	return &ShardedDataset{ds: out}, nil
+}

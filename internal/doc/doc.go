@@ -105,6 +105,11 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if opts.ChunkSize <= 0 {
 		opts.ChunkSize = 512
 	}
+	// ChunkSize deliberately stays un-aligned to dataset shards
+	// (engine.AlignChunk): the box-membership scans chunk positions in the
+	// shrinking `remaining` subset, whose positions drift from row indices
+	// as clusters are peeled off — shard-sized chunks would serialize the
+	// scan without confining it to one shard's memory.
 	intra := engine.SplitBudget(opts.Workers, restarts)
 	// Stream degenerates to Run's fixed fan-out when EarlyStop <= 0.
 	results, err := engine.Stream(context.Background(), restarts, opts.Workers,

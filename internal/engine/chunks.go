@@ -34,6 +34,28 @@ func SplitBudget(workers, restarts int) int {
 	return (w + concurrent - 1) / concurrent
 }
 
+// AlignChunk aligns an intra-restart chunk size to the storage shard
+// granularity of the dataset being scanned. With shardRows > 0 (a
+// shard-backed dataset — dataset.Dataset.ShardRows) it returns shardRows, so
+// every chunk of ParallelChunks / MapChunks covers exactly one shard and a
+// worker's scan touches only that shard's backing slice; with shardRows == 0
+// (flat storage) chunkSize passes through unchanged. Alignment is pure
+// scheduling and memory locality: chunk boundaries never change output
+// (TestConformanceChunkSizeInvariance), so the sharded and flat paths stay
+// byte-identical (TestConformanceShardedVsFlat).
+//
+// Align only loops whose chunk domain IS the row range [0, n) — SSPC and
+// CLARANS assignment, PROCLUS's point passes. Loops that chunk some other
+// domain (HARP's active-node list, DOC's shrinking remaining-point subset)
+// gain no locality from shard-sized chunks and can lose their parallelism
+// to oversized chunk counts; they keep their own ChunkSize.
+func AlignChunk(chunkSize, shardRows int) int {
+	if shardRows > 0 {
+		return shardRows
+	}
+	return chunkSize
+}
+
 // ParallelChunks splits [0, total) into contiguous ranges of chunkSize
 // elements (the last one shorter) and runs fn over them on up to `workers`
 // goroutines. Chunk boundaries depend only on chunkSize, never on the worker

@@ -127,3 +127,23 @@ func TestScratchUnderParallelChunks(t *testing.T) {
 		}
 	})
 }
+
+// TestAlignChunk: a shard granularity overrides the chunk size (one chunk
+// per shard); flat storage (shardRows = 0) passes the chunk size through
+// untouched, including the <= 0 "use default" convention.
+func TestAlignChunk(t *testing.T) {
+	for _, tc := range []struct {
+		chunkSize, shardRows, want int
+	}{
+		{512, 0, 512},
+		{0, 0, 0},
+		{-3, 0, -3},
+		{512, 100, 100},
+		{7, 100, 100},
+		{0, 100, 100},
+	} {
+		if got := AlignChunk(tc.chunkSize, tc.shardRows); got != tc.want {
+			t.Errorf("AlignChunk(%d, %d) = %d, want %d", tc.chunkSize, tc.shardRows, got, tc.want)
+		}
+	}
+}

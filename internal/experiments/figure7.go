@@ -27,6 +27,9 @@ func Figure7(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	if mg.Data, err = cfg.shardData(mg.Data); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title: fmt.Sprintf("Figure 7: two possible groupings (n=%d, d=%d, l_real=%d each)",
 			n, mg.Data.D(), lreal),

@@ -39,6 +39,9 @@ func scalability(cfg Config, points [][2]int, label func(p [2]int) string, title
 		if err != nil {
 			return nil, err
 		}
+		if gt.Data, err = cfg.shardData(gt.Data); err != nil {
+			return nil, err
+		}
 		// Workers = 1 keeps the timed runs fully serial — with the default
 		// (all CPUs) the whole budget would flow into the intra-restart
 		// chunked loops and the timing series would depend on the core

@@ -123,6 +123,9 @@ func Figure3(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		if gt.Data, err = cfg.shardData(gt.Data); err != nil {
+			return nil, err
+		}
 
 		// The five algorithm columns of this x-point are independent cells;
 		// run them concurrently. The cells' inner repeats run serially
@@ -213,6 +216,9 @@ func Figure4(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	if gt.Data, err = cfg.shardData(gt.Data); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   fmt.Sprintf("Figure 4: ARI vs parameter value at l_real=%d (n=%d, d=%d)", lreal, n, d),
 		XLabel:  "param idx",
@@ -278,6 +284,9 @@ func OutlierImmunity(cfg Config) (*Table, error) {
 			OutlierFrac: float64(pct) / 100, Seed: cfg.Seed + int64(pct),
 		})
 		if err != nil {
+			return nil, err
+		}
+		if gt.Data, err = cfg.shardData(gt.Data); err != nil {
 			return nil, err
 		}
 		res, err := sspcBest(gt, k, core.SchemeM, 0.5, nil, cfg)

@@ -56,9 +56,16 @@ func medianKnowledgeARI(gt *synth.GroundTruth, k int, kcfg synth.KnowledgeConfig
 // floor of 600 to keep the 1% regime meaningful).
 func fig5Dataset(cfg Config) (*synth.GroundTruth, error) {
 	d := scaleInt(3000, cfg.Scale, 600)
-	return synth.Generate(synth.Config{
+	gt, err := synth.Generate(synth.Config{
 		N: 150, D: d, K: 5, AvgDims: d / 100, Seed: cfg.Seed + 50,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if gt.Data, err = cfg.shardData(gt.Data); err != nil {
+		return nil, err
+	}
+	return gt, nil
 }
 
 // Figure5 regenerates the input-size sweep at full coverage: accuracy of

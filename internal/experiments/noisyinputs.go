@@ -26,6 +26,9 @@ func NoisyInputs(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	if gt.Data, err = cfg.shardData(gt.Data); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   fmt.Sprintf("§6 extension: SSPC ARI vs fraction of mislabeled objects (n=150, d=%d, size=6)", d),
 		XLabel:  "corrupt%",

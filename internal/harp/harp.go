@@ -101,6 +101,11 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if opts.ChunkSize <= 0 {
 		opts.ChunkSize = 32
 	}
+	// ChunkSize deliberately stays un-aligned to dataset shards
+	// (engine.AlignChunk): HARP chunks *active nodes*, not rows — every
+	// node's scan reads member rows across all shards regardless of chunk
+	// boundaries, so alignment would buy no locality while inflating node
+	// chunks past the proposeMerges parallel threshold.
 	intra := engine.SplitBudget(opts.Workers, restarts)
 	results, err := engine.Run(context.Background(), restarts, opts.Workers, opts.Seed,
 		func(restart int, rng *stats.RNG) (*cluster.Result, error) {

@@ -130,6 +130,9 @@ func (o Options) normalized(ds *dataset.Dataset) (Options, error) {
 	if o.ChunkSize <= 0 {
 		o.ChunkSize = 512
 	}
+	// On a shard-backed dataset, chunk = shard: each worker's scan stays
+	// inside one shard's backing memory. Output is unchanged either way.
+	o.ChunkSize = engine.AlignChunk(o.ChunkSize, ds.ShardRows())
 	return o, nil
 }
 

@@ -58,11 +58,26 @@
 //	opts.EarlyStop = 3 // stop early once φ plateaus for 3 restarts
 //	res, _ := sspc.Cluster(gt.Data, opts)
 //
+// # Datasets and sharding
+//
+// Datasets load from CSV (ReadCSV, ReadLabeledCSV — contract in
+// docs/DATASETS.md) or are generated (Generate). For datasets too large to
+// materialize through the flat loader's intermediates, ReadCSVSharded
+// streams rows directly into shard-backed storage — contiguous row-range
+// shards, each with its own backing slice — and ShardDataset re-backs an
+// in-memory dataset the same way. Sharded storage is byte-identical to flat
+// through every accessor and every algorithm (the conformance suite pins
+// sharded-vs-flat equality for all five); the row-scanning chunked loops
+// align one chunk per shard so each worker scans only its own shard's
+// memory.
+//
 // The subpackages under internal/ hold the implementations; this package is
 // the stable public surface.
 package sspc
 
 import (
+	"io"
+
 	"repro/internal/clarans"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -93,6 +108,46 @@ func NewDataset(n, d int) (*Dataset, error) { return dataset.New(n, d) }
 
 // FromRows builds a dataset from rows, copying the data.
 func FromRows(rows [][]float64) (*Dataset, error) { return dataset.FromRows(rows) }
+
+// ShardedDataset is a Dataset whose rows are partitioned into contiguous
+// row-range shards, each with its own backing slice and column-stat partial.
+// Sharded storage is byte-identical to flat through every accessor and every
+// algorithm; it changes memory layout (the row-scanning chunked loops align
+// one chunk per shard), never results.
+type ShardedDataset = dataset.ShardedDataset
+
+// ShardedReadOptions configures ReadCSVSharded: the rows-per-shard budget
+// and an optional ingestion-progress callback.
+type ShardedReadOptions = dataset.ShardedReadOptions
+
+// ShardDataset re-backs ds as at most k contiguous row-range shards,
+// copying the rows into per-shard slices; ds itself is left untouched. Pass
+// the result's Dataset() to any algorithm.
+func ShardDataset(ds *Dataset, k int) (*ShardedDataset, error) { return ds.Shards(k) }
+
+// ReadCSV parses numeric CSV data into a flat dataset. When header is true
+// the first record is skipped; every field must parse as a finite float64.
+func ReadCSV(r io.Reader, header bool) (*Dataset, error) { return dataset.ReadCSV(r, header) }
+
+// ReadLabeledCSV parses CSV whose last column is an integer class label
+// (−1 for outliers), returning the feature dataset and the label column.
+func ReadLabeledCSV(r io.Reader, header bool) (*Dataset, []int, error) {
+	return dataset.ReadLabeledCSV(r, header)
+}
+
+// ReadCSVSharded streams CSV straight into a sharded dataset, one shard of
+// opts.ShardRows rows at a time, without materializing one giant flat slice
+// or the CSV intermediates; see docs/DATASETS.md for the memory arithmetic.
+// It accepts exactly the inputs ReadCSV accepts, with identical values.
+func ReadCSVSharded(r io.Reader, header bool, opts ShardedReadOptions) (*ShardedDataset, error) {
+	return dataset.ReadCSVSharded(r, header, opts)
+}
+
+// WriteCSV writes the dataset as CSV; a non-nil labels slice (one entry per
+// row) is appended as a final integer column.
+func WriteCSV(w io.Writer, ds *Dataset, labels []int) error {
+	return dataset.WriteCSV(w, ds, labels)
+}
 
 // NewKnowledge returns an empty knowledge set; add labels with LabelObject
 // and LabelDim.
