@@ -165,6 +165,75 @@ func BenchmarkAssignChunked(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateColumnar pits the columnar gather kernel against the
+// pre-kernel per-element At column scan on one Step-4 cluster evaluation
+// (SelectDim over all d dimensions of one cluster's members), on flat and
+// shard-backed storage. The two legs return bit-identical φ (pinned by the
+// kernel's oracle test); the benchmark charts the locality and
+// dispatch-elimination win, which is largest on the sharded path where the
+// At scan pays an integer division per element. Allocations are reported:
+// the columnar leg must stay at 0 allocs/op after its scratch warms up.
+func BenchmarkEvaluateColumnar(b *testing.B) {
+	gt := benchGroundTruth(b, 2000, 200, 5, 12)
+	members := gt.MembersOfClass(0)
+	storages := []struct {
+		name string
+		ds   *Dataset
+	}{{"flat", gt.Data}}
+	sd, err := ShardDataset(gt.Data, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	storages = append(storages, struct {
+		name string
+		ds   *Dataset
+	}{"shards=16", sd.Dataset()})
+	var sink float64
+	for _, st := range storages {
+		eb, err := core.NewEvalBench(st.ds, DefaultOptions(5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(st.name+"/columnar", func(b *testing.B) {
+			sink = eb.Columnar(members) // warm the gather/transpose scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = eb.Columnar(members)
+			}
+		})
+		b.Run(st.name+"/atscan", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink = eb.Reference(members)
+			}
+		})
+	}
+	_ = sink
+}
+
+// BenchmarkGatherRows measures the shard-aware bulk row accessor feeding the
+// columnar kernel: gathering one cluster's worth of scattered member rows
+// into a dense block, flat vs shard-backed. Zero allocs/op by contract
+// (TestGatherZeroAlloc).
+func BenchmarkGatherRows(b *testing.B) {
+	gt := benchGroundTruth(b, 2000, 200, 5, 12)
+	members := gt.MembersOfClass(0)
+	dst := make([]float64, len(members)*gt.Data.D())
+	run := func(b *testing.B, ds *Dataset) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ds.GatherRows(members, dst)
+		}
+	}
+	b.Run("flat", func(b *testing.B) { run(b, gt.Data) })
+	sd, err := ShardDataset(gt.Data, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("shards=16", func(b *testing.B) { run(b, sd.Dataset()) })
+}
+
 // BenchmarkClusterSharded measures the sharded storage path: a single SSPC
 // restart at 8 workers on flat storage vs shard-backed storage at several
 // shard counts (chunk boundaries align one chunk per shard, so each worker

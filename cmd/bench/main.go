@@ -1,0 +1,268 @@
+// Command bench runs the repository's named benchmark suite through `go
+// test -bench` and writes a machine-readable JSON baseline (BENCH_5.json),
+// so every performance PR leaves a pinned, diffable record of ns/op, B/op
+// and allocs/op per benchmark instead of a log line lost to CI history.
+//
+// Two modes:
+//
+//	bench [-bench regex] [-benchtime 1x] [-count 1] [-out BENCH_5.json]
+//	    runs the suite in the current module and writes the baseline
+//	bench -verify BENCH_5.json
+//	    checks an existing baseline: valid JSON, the expected kernel
+//	    benchmark keys present, sane metric values
+//
+// The default suite covers the columnar evaluation kernel and its feeder
+// (BenchmarkEvaluateColumnar, BenchmarkGatherRows) plus the macro
+// assignment/sharding benchmarks (BenchmarkAssignChunked,
+// BenchmarkClusterSharded). CI runs the suite at -benchtime=1x every PR —
+// a compile-and-run smoke gate, not a measurement — and verifies the
+// committed baseline's shape; real numbers come from multi-core hardware
+// (see docs/PERFORMANCE.md).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// defaultBench is the named benchmark suite a bare `bench` run executes.
+const defaultBench = "^(BenchmarkEvaluateColumnar|BenchmarkGatherRows|BenchmarkAssignChunked|BenchmarkClusterSharded)$"
+
+// requiredKeys are the benchmark names (GOMAXPROCS suffix stripped) a valid
+// baseline must contain: the four EvaluateColumnar legs that compare the
+// gather kernel against the per-element At scan, and the bulk accessor
+// feeding it.
+var requiredKeys = []string{
+	"BenchmarkEvaluateColumnar/flat/columnar",
+	"BenchmarkEvaluateColumnar/flat/atscan",
+	"BenchmarkEvaluateColumnar/shards=16/columnar",
+	"BenchmarkEvaluateColumnar/shards=16/atscan",
+	"BenchmarkGatherRows/flat",
+	"BenchmarkGatherRows/shards=16",
+}
+
+// Metrics is one benchmark's parsed result line.
+type Metrics struct {
+	Procs       int                `json:"procs"`
+	N           int                `json:"n"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Baseline is the JSON document bench writes and verifies.
+type Baseline struct {
+	Suite      string             `json:"suite"`
+	Benchtime  string             `json:"benchtime,omitempty"`
+	Count      int                `json:"count"`
+	GoVersion  string             `json:"go_version,omitempty"`
+	GOOS       string             `json:"goos,omitempty"`
+	GOARCH     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		benchRe   = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "", "go test -benchtime value (e.g. 1x, 100ms); empty uses the go default")
+		count     = flag.Int("count", 1, "go test -count value")
+		out       = flag.String("out", "BENCH_5.json", "output baseline path")
+		dir       = flag.String("dir", ".", "module directory to benchmark (the package is always the root package)")
+		verify    = flag.String("verify", "", "verify an existing baseline file instead of running benchmarks")
+	)
+	flag.Parse()
+
+	if *verify != "" {
+		if err := verifyBaseline(*verify); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: verify %s: %v\n", *verify, err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench: %s OK\n", *verify)
+		return
+	}
+
+	base, err := runSuite(*dir, *benchRe, *benchtime, *count)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench: wrote %s (%d benchmarks)\n", *out, len(base.Benchmarks))
+	reportKernelSpeedup(base)
+}
+
+// runSuite executes the benchmarks and parses the output into a Baseline.
+func runSuite(dir, benchRe, benchtime string, count int) (*Baseline, error) {
+	args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchmem",
+		"-count", strconv.Itoa(count)}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, stdout.String())
+	}
+	base, err := parseOutput(stdout.String())
+	if err != nil {
+		return nil, err
+	}
+	base.Suite = benchRe
+	base.Benchtime = benchtime
+	base.Count = count
+	base.GoVersion = strings.TrimPrefix(goVersion(), "go version ")
+	return base, nil
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
+
+// parseOutput extracts the environment header and every benchmark result
+// line from `go test -bench` output. Repeated lines for one name (-count >
+// 1) keep the per-op minimum — the conventional "best of" baseline.
+func parseOutput(out string) (*Baseline, error) {
+	base := &Baseline{Benchmarks: map[string]Metrics{}}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			base.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			base.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			base.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		name, m, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		if prev, seen := base.Benchmarks[name]; !seen || m.NsPerOp < prev.NsPerOp {
+			base.Benchmarks[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(base.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines in go test output:\n%s", out)
+	}
+	return base, nil
+}
+
+// parseBenchLine parses one `BenchmarkName-8  N  12.3 ns/op  4 B/op ...`
+// line into its GOMAXPROCS-stripped name and metrics.
+func parseBenchLine(line string) (string, Metrics, bool) {
+	match := benchLine.FindStringSubmatch(line)
+	if match == nil {
+		return "", Metrics{}, false
+	}
+	m := Metrics{}
+	if match[2] != "" {
+		m.Procs, _ = strconv.Atoi(match[2])
+	}
+	m.N, _ = strconv.Atoi(match[3])
+	fields := strings.Fields(match[4])
+	for i := 0; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Metrics{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			m.NsPerOp = val
+		case "B/op":
+			m.BPerOp = val
+		case "allocs/op":
+			m.AllocsPerOp = val
+		default:
+			if m.Extra == nil {
+				m.Extra = map[string]float64{}
+			}
+			m.Extra[unit] = val
+		}
+	}
+	return match[1], m, true
+}
+
+// verifyBaseline checks that a baseline file is valid JSON with every
+// required kernel benchmark key and sane metric values.
+func verifyBaseline(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("invalid JSON: %w", err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmarks recorded")
+	}
+	var missing []string
+	for _, key := range requiredKeys {
+		m, ok := base.Benchmarks[key]
+		if !ok {
+			missing = append(missing, key)
+			continue
+		}
+		if m.N <= 0 || m.NsPerOp <= 0 {
+			return fmt.Errorf("benchmark %q has implausible metrics (n=%d, ns/op=%v)", key, m.N, m.NsPerOp)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("missing required benchmark keys: %s", strings.Join(missing, ", "))
+	}
+	reportKernelSpeedup(&base)
+	return nil
+}
+
+// reportKernelSpeedup prints the gather-kernel-vs-At-scan ratios when both
+// legs are present. Informational only: CI smoke runs use -benchtime=1x,
+// whose single-iteration timings are noise, so the gate is the committed
+// baseline's shape, not a machine-dependent threshold.
+func reportKernelSpeedup(base *Baseline) {
+	for _, storage := range []string{"flat", "shards=16"} {
+		col, okC := base.Benchmarks["BenchmarkEvaluateColumnar/"+storage+"/columnar"]
+		at, okA := base.Benchmarks["BenchmarkEvaluateColumnar/"+storage+"/atscan"]
+		if okC && okA && col.NsPerOp > 0 {
+			fmt.Printf("bench: %s: columnar %.0f ns/op vs atscan %.0f ns/op (%.2fx)\n",
+				storage, col.NsPerOp, at.NsPerOp, at.NsPerOp/col.NsPerOp)
+		}
+	}
+}

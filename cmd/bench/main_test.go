@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		want Metrics
+		ok   bool
+	}{
+		{
+			line: "BenchmarkEvaluateColumnar/flat/columnar-8         \t      30\t   1400157 ns/op\t       0 B/op\t       0 allocs/op",
+			name: "BenchmarkEvaluateColumnar/flat/columnar",
+			want: Metrics{Procs: 8, N: 30, NsPerOp: 1400157},
+			ok:   true,
+		},
+		{
+			line: "BenchmarkGatherRows/shards=16-2 100 29637.5 ns/op 8 B/op 1 allocs/op",
+			name: "BenchmarkGatherRows/shards=16",
+			want: Metrics{Procs: 2, N: 100, NsPerOp: 29637.5, BPerOp: 8, AllocsPerOp: 1},
+			ok:   true,
+		},
+		{
+			line: "BenchmarkAblationGrid/g20c3-4 12 5000 ns/op 0.812 ARI/op",
+			name: "BenchmarkAblationGrid/g20c3",
+			want: Metrics{Procs: 4, N: 12, NsPerOp: 5000, Extra: map[string]float64{"ARI/op": 0.812}},
+			ok:   true,
+		},
+		{line: "PASS", ok: false},
+		{line: "ok  \trepro\t0.256s", ok: false},
+		{line: "goos: linux", ok: false},
+	}
+	for _, c := range cases {
+		name, m, ok := parseBenchLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parseBenchLine(%q) ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if name != c.name {
+			t.Errorf("parseBenchLine(%q) name = %q, want %q", c.line, name, c.name)
+		}
+		if m.Procs != c.want.Procs || m.N != c.want.N || m.NsPerOp != c.want.NsPerOp ||
+			m.BPerOp != c.want.BPerOp || m.AllocsPerOp != c.want.AllocsPerOp {
+			t.Errorf("parseBenchLine(%q) = %+v, want %+v", c.line, m, c.want)
+		}
+		for unit, val := range c.want.Extra {
+			if m.Extra[unit] != val {
+				t.Errorf("parseBenchLine(%q) extra[%s] = %v, want %v", c.line, unit, m.Extra[unit], val)
+			}
+		}
+	}
+}
+
+func TestParseOutputHeaderAndBestOf(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGatherRows/flat-8 50 30000 ns/op 0 B/op 0 allocs/op
+BenchmarkGatherRows/flat-8 50 28000 ns/op 0 B/op 0 allocs/op
+PASS
+ok  	repro	1.0s
+`
+	base, err := parseOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.GOOS != "linux" || base.GOARCH != "amd64" || base.CPU == "" {
+		t.Errorf("header not parsed: %+v", base)
+	}
+	m, ok := base.Benchmarks["BenchmarkGatherRows/flat"]
+	if !ok {
+		t.Fatalf("benchmark key missing: %v", base.Benchmarks)
+	}
+	if m.NsPerOp != 28000 {
+		t.Errorf("repeated lines should keep the minimum ns/op, got %v", m.NsPerOp)
+	}
+}
+
+func TestVerifyBaseline(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, v any) string {
+		t.Helper()
+		buf, err := json.MarshalIndent(v, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	good := &Baseline{Benchmarks: map[string]Metrics{}}
+	for _, key := range requiredKeys {
+		good.Benchmarks[key] = Metrics{Procs: 1, N: 10, NsPerOp: 1000}
+	}
+	if err := verifyBaseline(write("good.json", good)); err != nil {
+		t.Errorf("complete baseline rejected: %v", err)
+	}
+
+	missing := &Baseline{Benchmarks: map[string]Metrics{
+		requiredKeys[0]: {N: 10, NsPerOp: 1000},
+	}}
+	if err := verifyBaseline(write("missing.json", missing)); err == nil {
+		t.Error("baseline missing required keys accepted")
+	}
+
+	bad := &Baseline{Benchmarks: map[string]Metrics{}}
+	for _, key := range requiredKeys {
+		bad.Benchmarks[key] = Metrics{N: 0, NsPerOp: 0}
+	}
+	if err := verifyBaseline(write("bad.json", bad)); err == nil {
+		t.Error("baseline with implausible metrics accepted")
+	}
+
+	notJSON := filepath.Join(dir, "not.json")
+	if err := os.WriteFile(notJSON, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyBaseline(notJSON); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

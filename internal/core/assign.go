@@ -16,13 +16,16 @@ import (
 // reduction over cluster indices (evaluation). Workers and ChunkSize
 // therefore tune wall-clock time only; the output is byte-identical to the
 // serial loop.
-
-// evalScratch is one worker slot's reusable buffers for the dimension
-// re-selection step.
-type evalScratch struct {
-	buf  []float64 // median buffer, len n
-	dims []dimEval // dimension evals, cap d
-}
+//
+// Both loops are also allocation-free in steady state
+// (TestAssignZeroAllocSteadyState, TestEvaluateZeroAllocSteadyState): every
+// buffer — the packed assignment triples, the per-cluster dims outputs, the
+// gather/transpose scratch — lives on the assigner or its per-worker scratch
+// slots, and the chunk closures are built once at construction instead of
+// per call. The call state the closures need (dataset, clusters, outputs) is
+// published to assigner fields before each ParallelChunks call; on the
+// parallel path ParallelChunks' WaitGroup provides the happens-before edge,
+// and a field is only written between calls, never during one.
 
 // assigner holds the worker budget and per-worker scratch of one restart.
 type assigner struct {
@@ -30,6 +33,24 @@ type assigner struct {
 	chunkSize int
 	scratch   *engine.Scratch[*evalScratch]
 	evals     []clusterEval
+	dimsOut   [][]int // per-cluster selected-dims storage, cap d each
+
+	// Packed per-cluster assignment triples: for cluster i and its t-th
+	// selected dimension j = packDims[i][t], packRep[i][t] is the
+	// representative's projection on j and packSHat[i][t] the selection
+	// threshold ŝ²_ij — the three values the Step-3 inner loop reads,
+	// contiguous instead of scattered over st.dims / st.rep / sHat[i].
+	packDims [][]int
+	packRep  [][]float64
+	packSHat [][]float64
+
+	// Call state read by the pre-built chunk closures.
+	ds       *dataset.Dataset
+	clusters []*state
+	thr      *thresholds
+	out      []int
+	assignFn func(worker, lo, hi int)
+	evalFn   func(worker, lo, hi int)
 }
 
 // newAssigner sizes the scratch pool for a dataset of n objects and d
@@ -43,14 +64,50 @@ func newAssigner(n, d, k, workers, chunkSize int) *assigner {
 	if slots > k {
 		slots = k // evaluation has only k units of work
 	}
-	return &assigner{
+	a := &assigner{
 		workers:   workers,
 		chunkSize: chunkSize,
-		scratch: engine.NewScratch(slots, func() *evalScratch {
-			return &evalScratch{buf: make([]float64, n), dims: make([]dimEval, 0, d)}
-		}),
-		evals: make([]clusterEval, k),
+		scratch:   engine.NewScratch(slots, func() *evalScratch { return newEvalScratch(d) }),
+		evals:     make([]clusterEval, k),
+		dimsOut:   make([][]int, k),
+		packDims:  make([][]int, k),
+		packRep:   make([][]float64, k),
+		packSHat:  make([][]float64, k),
 	}
+	for i := 0; i < k; i++ {
+		a.dimsOut[i] = make([]int, 0, d)
+		a.packDims[i] = make([]int, 0, d)
+		a.packRep[i] = make([]float64, 0, d)
+		a.packSHat[i] = make([]float64, 0, d)
+	}
+	a.assignFn = func(_, lo, hi int) {
+		for x := lo; x < hi; x++ {
+			row := a.ds.Row(x)
+			bestDelta := 0.0
+			bestC := cluster.Outlier
+			for i, dims := range a.packDims {
+				rep, sHat := a.packRep[i], a.packSHat[i]
+				delta := 0.0
+				for t, j := range dims {
+					diff := row[j] - rep[t]
+					delta += 1 - diff*diff/sHat[t]
+				}
+				if delta > bestDelta {
+					bestDelta = delta
+					bestC = i
+				}
+			}
+			a.out[x] = bestC
+		}
+	}
+	a.evalFn = func(worker, lo, hi int) {
+		s := a.scratch.Get(worker)
+		for i := lo; i < hi; i++ {
+			a.evals[i] = evaluateCluster(a.ds, a.clusters[i].members, a.thr, s, a.dimsOut[i])
+			a.dimsOut[i] = a.evals[i].dims
+		}
+	}
+	return a
 }
 
 // assign scores every object against all K candidate clusters and writes the
@@ -58,41 +115,36 @@ func newAssigner(n, d, k, workers, chunkSize int) *assigner {
 // fixed point-range chunks. Each point's score is a sum over the cluster's
 // selected dimensions in ascending order — the same order as the serial
 // loop — and each chunk writes only assign[lo:hi], so the result does not
-// depend on workers or chunk boundaries.
+// depend on workers or chunk boundaries. The per-cluster (dims, rep, ŝ²)
+// triples are packed into contiguous buffers once per call, so the O(n·K·|V|)
+// inner loop reads three dense arrays instead of indirecting through cluster
+// state.
 func (a *assigner) assign(ds *dataset.Dataset, clusters []*state, sHat [][]float64, assign []int) {
-	engine.ParallelChunks(len(assign), a.chunkSize, a.workers, func(_, lo, hi int) {
-		for x := lo; x < hi; x++ {
-			row := ds.Row(x)
-			bestDelta := 0.0
-			bestC := cluster.Outlier
-			for i, st := range clusters {
-				delta := 0.0
-				for _, j := range st.dims {
-					diff := row[j] - st.rep[j]
-					delta += 1 - diff*diff/sHat[i][j]
-				}
-				if delta > bestDelta {
-					bestDelta = delta
-					bestC = i
-				}
-			}
-			assign[x] = bestC
+	for i, st := range clusters {
+		pd, pr, ps := a.packDims[i][:0], a.packRep[i][:0], a.packSHat[i][:0]
+		for _, j := range st.dims {
+			pd = append(pd, j)
+			pr = append(pr, st.rep[j])
+			ps = append(ps, sHat[i][j])
 		}
-	})
+		a.packDims[i], a.packRep[i], a.packSHat[i] = pd, pr, ps
+	}
+	a.ds, a.out = ds, assign
+	engine.ParallelChunks(len(assign), a.chunkSize, a.workers, a.assignFn)
+	a.ds, a.out = nil, nil
 }
 
 // evaluate reruns SelectDim on every cluster's current members (one unit of
-// work per cluster, each on its own worker-slot scratch), then applies the
-// results and sums φ_i in cluster-index order. The parallel part writes only
-// evals[i]; the ordered serial reduction keeps the floating-point sum
-// byte-identical to the serial loop.
+// work per cluster, each on its own worker-slot gather scratch), then applies
+// the results and sums φ_i in cluster-index order. The parallel part writes
+// only evals[i] and dimsOut[i]; the ordered serial reduction keeps the
+// floating-point sum byte-identical to the serial loop. The returned dims
+// slices alias the assigner's per-cluster buffers, which the caller's cluster
+// states own until the next evaluate call.
 func (a *assigner) evaluate(ds *dataset.Dataset, clusters []*state, thr *thresholds) float64 {
-	engine.ParallelChunks(len(clusters), 1, a.scratch.Slots(), func(worker, lo, hi int) {
-		s := a.scratch.Get(worker)
-		for i := lo; i < hi; i++ {
-			a.evals[i] = evaluateCluster(ds, clusters[i].members, thr, s.buf, s.dims)
-		}
-	})
+	a.ds, a.clusters, a.thr = ds, clusters, thr
+	engine.ParallelChunks(len(clusters), 1, a.scratch.Slots(), a.evalFn)
+	a.ds, a.clusters, a.thr = nil, nil, nil
 	total := 0.0
 	for i, st := range clusters {
 		st.dims = a.evals[i].dims

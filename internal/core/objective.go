@@ -17,6 +17,12 @@ import (
 // dimensions with s²_ij + (µ_ij − µ̃_ij)² < ŝ²_ij, which is what SelectDim
 // does. φ_ij is positive for every selected dimension and larger for tighter
 // dimensions, so relevant dimensions dominate the score (design goal #2).
+//
+// All of the evaluators below run on the columnar kernel of columnar.go:
+// members are gathered once into dense column buffers and every
+// per-dimension quantity is computed over sequential memory, with the exact
+// accumulation order of the historical per-element At scan (see the
+// bit-identity argument in columnar.go).
 
 // dimEval carries the per-dimension quantities of one cluster.
 type dimEval struct {
@@ -25,39 +31,39 @@ type dimEval struct {
 }
 
 // evaluateDims computes φ_ij and the selection decision for every dimension
-// of the cluster `members`, reusing buf (len >= len(members)).
-func evaluateDims(ds *dataset.Dataset, members []int, thr *thresholds, buf []float64, out []dimEval) []dimEval {
+// of the cluster `members` through the gather/transpose kernel. The returned
+// slice aliases s.evals and is valid until the next evaluation on s.
+func evaluateDims(ds *dataset.Dataset, members []int, thr *thresholds, s *evalScratch) []dimEval {
 	d := ds.D()
-	out = out[:0]
+	out := s.evals[:0]
 	ni := len(members)
 	if ni == 0 {
 		for j := 0; j < d; j++ {
 			out = append(out, dimEval{phi: math.Inf(-1)})
 		}
+		s.evals = out
 		return out
 	}
+	s.gatherColumns(ds, members)
 	for j := 0; j < d; j++ {
-		var r stats.Running
-		for t, i := range members {
-			v := ds.At(i, j)
-			buf[t] = v
-			r.Add(v)
-		}
-		med := stats.MedianInPlace(buf[:ni])
+		r := &s.accs[j]
+		med := stats.MedianInPlace(s.cols[j*ni : (j+1)*ni])
 		diff := r.Mean() - med
 		disp := r.Variance() + diff*diff
 		sHat := thr.value(j, ni)
 		phi := float64(ni-1) * (1 - disp/sHat)
 		out = append(out, dimEval{phi: phi, selected: disp < sHat})
 	}
+	s.evals = out
 	return out
 }
 
 // selectDims runs Procedure SelectDim (Listing 1 of the paper): it returns
-// the dimensions with s²_ij + (µ_ij − µ̃_ij)² < ŝ²_ij, ascending.
-func selectDims(ds *dataset.Dataset, members []int, thr *thresholds) []int {
-	buf := make([]float64, len(members))
-	evals := evaluateDims(ds, members, thr, buf, make([]dimEval, 0, ds.D()))
+// the dimensions with s²_ij + (µ_ij − µ̃_ij)² < ŝ²_ij, ascending. The
+// returned slice is freshly allocated (callers retain it); the intermediate
+// buffers come from s.
+func selectDims(ds *dataset.Dataset, members []int, thr *thresholds, s *evalScratch) []int {
+	evals := evaluateDims(ds, members, thr, s)
 	var dims []int
 	for j, e := range evals {
 		if e.selected {
@@ -68,26 +74,28 @@ func selectDims(ds *dataset.Dataset, members []int, thr *thresholds) []int {
 }
 
 // phiIJ returns φ_ij for one dimension (used to weight candidate
-// grid-building dimensions by φ_{i'j} during initialization, §4.2.1).
-func phiIJ(ds *dataset.Dataset, members []int, j int, thr *thresholds) float64 {
+// grid-building dimensions by φ_{i'j} during initialization, §4.2.1). buf
+// needs capacity for len(members) values and is consumed.
+func phiIJ(ds *dataset.Dataset, members []int, j int, thr *thresholds, buf []float64) float64 {
 	ni := len(members)
 	if ni == 0 {
 		return math.Inf(-1)
 	}
-	disp := dispersion(ds, members, j)
+	disp := dispersion(ds, members, j, buf)
 	sHat := thr.value(j, ni)
 	return float64(ni-1) * (1 - disp/sHat)
 }
 
-// phiCluster returns φ_i = Σ_{vj∈dims} φ_ij for a fixed dimension set.
-func phiCluster(ds *dataset.Dataset, members []int, dims []int, thr *thresholds) float64 {
+// phiCluster returns φ_i = Σ_{vj∈dims} φ_ij for a fixed dimension set. buf
+// needs capacity for len(members) values and is consumed.
+func phiCluster(ds *dataset.Dataset, members []int, dims []int, thr *thresholds, buf []float64) float64 {
 	ni := len(members)
 	if ni == 0 || len(dims) == 0 {
 		return 0
 	}
 	total := 0.0
 	for _, j := range dims {
-		disp := dispersion(ds, members, j)
+		disp := dispersion(ds, members, j, buf)
 		sHat := thr.value(j, ni)
 		total += float64(ni-1) * (1 - disp/sHat)
 	}
@@ -101,10 +109,12 @@ type clusterEval struct {
 }
 
 // evaluateCluster runs SelectDim on the members and returns the selected
-// dimensions with the resulting φ_i.
-func evaluateCluster(ds *dataset.Dataset, members []int, thr *thresholds, buf []float64, scratch []dimEval) clusterEval {
-	evals := evaluateDims(ds, members, thr, buf, scratch)
-	var dims []int
+// dimensions with the resulting φ_i. The selected dimensions are appended
+// into dims[:0], so a caller that hands in a buffer of capacity d gets an
+// allocation-free evaluation.
+func evaluateCluster(ds *dataset.Dataset, members []int, thr *thresholds, s *evalScratch, dims []int) clusterEval {
+	evals := evaluateDims(ds, members, thr, s)
+	dims = dims[:0]
 	phi := 0.0
 	for j, e := range evals {
 		if e.selected {

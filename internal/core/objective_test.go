@@ -39,13 +39,13 @@ func TestSelectDimsMatchesLemma1(t *testing.T) {
 	})
 	thr := thresholdsFor(ds, SchemeM, 0.5)
 	members := []int{0, 1, 2}
-	dims := selectDims(ds, members, thr)
+	dims := selectDims(ds, members, thr, newEvalScratch(ds.D()))
 	if len(dims) != 1 || dims[0] != 0 {
 		t.Fatalf("selectDims = %v, want [0]", dims)
 	}
 	// Explicit Lemma 1 check per dimension.
 	for j := 0; j < 2; j++ {
-		disp := dispersion(ds, members, j)
+		disp := dispersion(ds, members, j, make([]float64, len(members)))
 		sHat := thr.value(j, len(members))
 		selected := false
 		for _, dj := range dims {
@@ -68,8 +68,7 @@ func TestPhiPositiveForSelectedDims(t *testing.T) {
 	}
 	thr := thresholdsFor(gt.Data, SchemeM, 0.5)
 	members := gt.MembersOfClass(0)
-	buf := make([]float64, len(members))
-	evals := evaluateDims(gt.Data, members, thr, buf, nil)
+	evals := evaluateDims(gt.Data, members, thr, newEvalScratch(gt.Data.D()))
 	for j, e := range evals {
 		if e.selected && e.phi <= 0 {
 			t.Errorf("selected dim %d has φ_ij = %v <= 0", j, e.phi)
@@ -88,16 +87,16 @@ func TestEvaluateClusterConsistent(t *testing.T) {
 	thr := thresholdsFor(gt.Data, SchemeM, 0.5)
 	members := gt.MembersOfClass(1)
 	buf := make([]float64, len(members))
-	ev := evaluateCluster(gt.Data, members, thr, buf, nil)
+	ev := evaluateCluster(gt.Data, members, thr, newEvalScratch(gt.Data.D()), nil)
 	// φ_i from evaluateCluster equals phiCluster over the same dims.
-	direct := phiCluster(gt.Data, members, ev.dims, thr)
+	direct := phiCluster(gt.Data, members, ev.dims, thr, buf)
 	if math.Abs(ev.phi-direct) > 1e-9*(1+math.Abs(direct)) {
 		t.Errorf("evaluateCluster φ=%v, phiCluster=%v", ev.phi, direct)
 	}
 	// And matches the sum of per-dim φ_ij.
 	sum := 0.0
 	for _, j := range ev.dims {
-		sum += phiIJ(gt.Data, members, j, thr)
+		sum += phiIJ(gt.Data, members, j, thr, buf)
 	}
 	if math.Abs(ev.phi-sum) > 1e-9*(1+math.Abs(sum)) {
 		t.Errorf("φ_i = %v but Σφ_ij = %v", ev.phi, sum)
@@ -125,14 +124,14 @@ func TestSelectDimMaximizesPhiProperty(t *testing.T) {
 		thr := thresholdsFor(ds, SchemeM, 0.6)
 		members := rng.Sample(n, 3+rng.Intn(n-3))
 		buf := make([]float64, len(members))
-		ev := evaluateCluster(ds, members, thr, buf, nil)
+		ev := evaluateCluster(ds, members, thr, newEvalScratch(d), nil)
 
 		selected := make(map[int]bool, len(ev.dims))
 		for _, j := range ev.dims {
 			selected[j] = true
 		}
 		for j := 0; j < d; j++ {
-			phi := phiIJ(ds, members, j, thr)
+			phi := phiIJ(ds, members, j, thr, buf)
 			if selected[j] && phi < 0 {
 				return false // removing it would raise φ_i: contradiction
 			}
@@ -208,10 +207,11 @@ func TestSchemeMValuesIndependentOfSize(t *testing.T) {
 
 func TestDispersionDegenerate(t *testing.T) {
 	ds := mustDataset(t, [][]float64{{1}, {2}, {3}})
-	if got := dispersion(ds, nil, 0); !math.IsInf(got, 1) {
+	buf := make([]float64, 1)
+	if got := dispersion(ds, nil, 0, buf); !math.IsInf(got, 1) {
 		t.Errorf("empty members dispersion = %v, want +Inf", got)
 	}
-	if got := dispersion(ds, []int{0}, 0); got != 0 {
+	if got := dispersion(ds, []int{0}, 0, buf); got != 0 {
 		t.Errorf("singleton dispersion = %v, want 0", got)
 	}
 }

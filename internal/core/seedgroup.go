@@ -31,10 +31,7 @@ func (g *seedGroup) computeMedian(ds *dataset.Dataset) {
 	g.medianOnDims = make([]float64, len(g.dims))
 	buf := make([]float64, len(g.seeds))
 	for t, j := range g.dims {
-		for u, s := range g.seeds {
-			buf[u] = ds.At(s, j)
-		}
-		g.medianOnDims[t] = stats.MedianInPlace(buf)
+		g.medianOnDims[t] = stats.MedianInPlace(ds.GatherColumn(g.seeds, j, buf))
 	}
 }
 
@@ -53,6 +50,10 @@ type initializer struct {
 	excluded  []bool // objects claimed by already-created groups
 	nExcluded int
 	groups    []*seedGroup // every group created so far (for max-min)
+
+	// es backs every SelectDim / evaluateDims call of the initialization
+	// path, so repeated refinement passes reuse one gather/transpose scratch.
+	es *evalScratch
 }
 
 // initialize returns the private seed groups keyed by class and the shared
@@ -64,6 +65,7 @@ func initialize(ds *dataset.Dataset, opts Options, thr *thresholds, rng *stats.R
 		thr:      thr,
 		rng:      rng,
 		excluded: make([]bool, ds.N()),
+		es:       newEvalScratch(ds.D()),
 	}
 
 	private := make(map[int]*seedGroup)
@@ -159,8 +161,7 @@ func (init *initializer) createPrivate(c int) (*seedGroup, error) {
 	case len(io) >= 2:
 		// §4.2.1/§4.2.2: the labeled objects form a temporary cluster C'.
 		// Candidates are SelectDim(C') (∪ Iv), weighted by φ_{i'j}.
-		buf := make([]float64, len(io))
-		evals := evaluateDims(init.ds, io, init.thr, buf, make([]dimEval, 0, init.ds.D()))
+		evals := evaluateDims(init.ds, io, init.thr, init.es)
 		maxPhi := 0.0
 		for _, e := range evals {
 			if e.selected && e.phi > maxPhi {
@@ -270,7 +271,7 @@ func (init *initializer) createPublic() (*seedGroup, error) {
 // sample are harmless — they reflect genuine concentration of the cluster.
 func (init *initializer) refine(seeds []int, iv []int) ([]int, []int) {
 	ds, thr := init.ds, init.thr
-	dims0 := selectDims(ds, seeds, thr)
+	dims0 := selectDims(ds, seeds, thr, init.es)
 	dims0 = unionSorted(dims0, iv)
 	if len(dims0) == 0 {
 		return seeds, nil
@@ -279,15 +280,16 @@ func (init *initializer) refine(seeds []int, iv []int) ([]int, []int) {
 	// Pass 1: rank the candidate dimensions by φ_ij on the raw seeds and
 	// grow along the strongest c of them.
 	phis := make([]float64, len(dims0))
+	buf := make([]float64, len(seeds))
 	for t, j := range dims0 {
-		phis[t] = phiIJ(ds, seeds, j, thr)
+		phis[t] = phiIJ(ds, seeds, j, thr, buf)
 	}
 	growDims := topWeighted(dims0, phis, init.opts.GridDims)
 	grown := init.gather(seeds, growDims)
 	if len(grown) < len(seeds) {
 		grown = seeds
 	}
-	dims := selectDims(ds, grown, thr)
+	dims := selectDims(ds, grown, thr, init.es)
 	dims = unionSorted(dims, iv)
 
 	// Pass 2: with a representative sample the selected dimensions are
@@ -297,7 +299,7 @@ func (init *initializer) refine(seeds []int, iv []int) ([]int, []int) {
 		regrown := init.gather(grown, dims)
 		if len(regrown) >= len(seeds) {
 			grown = regrown
-			dims = unionSorted(selectDims(ds, grown, thr), iv)
+			dims = unionSorted(selectDims(ds, grown, thr, init.es), iv)
 		}
 	}
 	return grown, dims
@@ -315,17 +317,22 @@ func (init *initializer) gather(members []int, dims []int) []int {
 	med := make([]float64, len(dims))
 	buf := make([]float64, len(members))
 	for t, j := range dims {
-		for u, s := range members {
-			buf[u] = ds.At(s, j)
-		}
-		med[t] = stats.MedianInPlace(buf)
+		med[t] = stats.MedianInPlace(ds.GatherColumn(members, j, buf))
+	}
+	// The full-dataset scan reads whole rows (one storage dispatch per row,
+	// never per element) against thresholds hoisted out of the point loop —
+	// same divisors, same order, so the scores are bit-identical.
+	sHat := make([]float64, len(dims))
+	for t, j := range dims {
+		sHat[t] = thr.value(j, ni)
 	}
 	var out []int
 	for i := 0; i < ds.N(); i++ {
+		row := ds.Row(i)
 		score := 0.0
 		for t, j := range dims {
-			diff := ds.At(i, j) - med[t]
-			score += diff * diff / thr.value(j, ni)
+			diff := row[j] - med[t]
+			score += diff * diff / sHat[t]
 		}
 		if score/float64(len(dims)) < 1 {
 			out = append(out, i)
@@ -533,6 +540,10 @@ func (init *initializer) adopt(g *seedGroup) {
 	limit := init.ds.N() / 10
 	med := g.medianOnDims
 	ni := len(g.seeds)
+	sHat := make([]float64, len(g.dims))
+	for t, j := range g.dims {
+		sHat[t] = init.thr.value(j, ni)
+	}
 	for i := 0; i < init.ds.N(); i++ {
 		if init.excluded[i] {
 			continue
@@ -540,10 +551,11 @@ func (init *initializer) adopt(g *seedGroup) {
 		if init.ds.N()-init.nExcluded <= limit {
 			return
 		}
+		row := init.ds.Row(i)
 		score := 0.0
 		for t, j := range g.dims {
-			diff := init.ds.At(i, j) - med[t]
-			score += diff * diff / init.thr.value(j, ni)
+			diff := row[j] - med[t]
+			score += diff * diff / sHat[t]
 		}
 		if score/float64(len(g.dims)) < 1 {
 			init.excluded[i] = true

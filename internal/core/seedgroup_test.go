@@ -23,6 +23,7 @@ func setupInit(t *testing.T, gt *synth.GroundTruth, kn *dataset.Knowledge, seed 
 		thr:      newThresholds(gt.Data, opts),
 		rng:      newTestRNGCore(seed),
 		excluded: make([]bool, gt.Data.N()),
+		es:       newEvalScratch(gt.Data.D()),
 	}, opts
 }
 

@@ -87,19 +87,13 @@ func (t *thresholds) values(ni int, dst []float64) []float64 {
 }
 
 // dispersion returns s²_ij + (µ_ij − µ̃_ij)², the quantity Lemma 1 compares
-// against ŝ²_ij, for the projections of members on dimension j.
-func dispersion(ds *dataset.Dataset, members []int, j int) float64 {
+// against ŝ²_ij, for the projections of members on dimension j. buf is
+// caller-provided scratch (capacity >= len(members), consumed by the median)
+// so the per-dimension callers — phiCluster and phiIJ run this once per
+// dimension — pay no allocation per call.
+func dispersion(ds *dataset.Dataset, members []int, j int, buf []float64) float64 {
 	if len(members) == 0 {
 		return math.Inf(1)
 	}
-	var r stats.Running
-	buf := make([]float64, len(members))
-	for t, i := range members {
-		v := ds.At(i, j)
-		buf[t] = v
-		r.Add(v)
-	}
-	med := stats.MedianInPlace(buf)
-	diff := r.Mean() - med
-	return r.Variance() + diff*diff
+	return dispersionColumn(ds.GatherColumn(members, j, buf))
 }

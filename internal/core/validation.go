@@ -122,6 +122,7 @@ func ValidateKnowledge(ds *dataset.Dataset, kn *dataset.Knowledge, opts Options,
 		thr:      thr,
 		rng:      stats.NewRNG(opts.Seed ^ 0x5eed),
 		excluded: make([]bool, ds.N()),
+		es:       newEvalScratch(ds.D()),
 	}
 
 	for _, c := range kn.Classes() {
@@ -142,9 +143,10 @@ func ValidateKnowledge(ds *dataset.Dataset, kn *dataset.Knowledge, opts Options,
 		}
 
 		// Labeled dimensions.
+		dbuf := make([]float64, len(io))
 		for _, j := range iv {
 			if len(io) >= 2 {
-				disp := dispersion(ds, io, j)
+				disp := dispersion(ds, io, j, dbuf)
 				sHat := thr.value(j, len(io))
 				if ratio := disp / sHat; ratio >= 1 {
 					report.SuspectDims = append(report.SuspectDims,
@@ -192,13 +194,11 @@ func ValidateKnowledge(ds *dataset.Dataset, kn *dataset.Knowledge, opts Options,
 func consensusScore(ds *dataset.Dataset, thr *thresholds, reference []int, dims []int, obj int) float64 {
 	buf := make([]float64, len(reference))
 	ni := len(reference)
+	objRow := ds.Row(obj)
 	ratios := make([]float64, 0, len(dims))
 	for _, j := range dims {
-		for u, s := range reference {
-			buf[u] = ds.At(s, j)
-		}
-		med := stats.MedianInPlace(buf)
-		diff := ds.At(obj, j) - med
+		med := stats.MedianInPlace(ds.GatherColumn(reference, j, buf))
+		diff := objRow[j] - med
 		ratios = append(ratios, diff*diff/thr.value(j, ni))
 	}
 	return stats.MedianInPlace(ratios)

@@ -129,6 +129,82 @@ func (ds *Dataset) Row(i int) []float64 {
 	return ds.shards[s][off : off+ds.d : off+ds.d]
 }
 
+// GatherRows copies the rows indexed by members into dst, row-major: dst row
+// t holds row members[t], so the result is a dense ni×d block of the members'
+// values. dst must have capacity for len(members)*D() values; the filled
+// prefix is returned. GatherRows never allocates, which makes it the bulk
+// accessor for evaluation hot loops: gather a cluster's members once, then
+// scan dense sequential memory instead of paying At's branch (and, on
+// shard-backed storage, its integer division) per element.
+//
+// The copy is shard-aware: maximal runs of consecutive row indices that stay
+// inside one storage block collapse into a single copy, and the shard lookup
+// happens only when a row falls outside the previously resolved shard — for
+// the ascending member lists the algorithms produce, that is once per shard
+// crossing, never per element.
+func (ds *Dataset) GatherRows(members []int, dst []float64) []float64 {
+	d := ds.d
+	dst = dst[:len(members)*d]
+	if ds.data != nil {
+		for t := 0; t < len(members); {
+			i := members[t]
+			run := t + 1
+			for run < len(members) && members[run] == i+(run-t) {
+				run++
+			}
+			copy(dst[t*d:run*d], ds.data[i*d:(i+run-t)*d])
+			t = run
+		}
+		return dst
+	}
+	sr := ds.shardRows
+	lo, hi := 0, 0 // row range of the currently resolved shard
+	var blk []float64
+	for t := 0; t < len(members); {
+		i := members[t]
+		if i < lo || i >= hi {
+			s := i / sr
+			lo, hi = s*sr, s*sr+sr
+			blk = ds.shards[s]
+		}
+		run := t + 1
+		for run < len(members) && members[run] == i+(run-t) && members[run] < hi {
+			run++
+		}
+		off := (i - lo) * d
+		copy(dst[t*d:run*d], blk[off:off+(run-t)*d])
+		t = run
+	}
+	return dst
+}
+
+// GatherColumn copies the members' projections on dimension j into dst
+// (capacity >= len(members)) and returns the filled prefix. Like GatherRows
+// it never allocates and resolves the storage shard only when a row index
+// leaves the previously resolved shard, so subset column scans pay no
+// per-element shard dispatch.
+func (ds *Dataset) GatherColumn(members []int, j int, dst []float64) []float64 {
+	dst = dst[:len(members)]
+	if ds.data != nil {
+		for t, i := range members {
+			dst[t] = ds.data[i*ds.d+j]
+		}
+		return dst
+	}
+	sr := ds.shardRows
+	lo, hi := 0, 0
+	var blk []float64
+	for t, i := range members {
+		if i < lo || i >= hi {
+			s := i / sr
+			lo, hi = s*sr, s*sr+sr
+			blk = ds.shards[s]
+		}
+		dst[t] = blk[(i-lo)*ds.d+j]
+	}
+	return dst
+}
+
 // Col gathers dimension j's values into a freshly allocated slice.
 func (ds *Dataset) Col(j int) []float64 {
 	return ds.ColInto(j, make([]float64, ds.n))
@@ -237,11 +313,7 @@ func (ds *Dataset) ColRange(j int) float64 {
 // dimension j. It is the µ̃_ij of the paper's objective for cluster members
 // `objs`.
 func (ds *Dataset) SubsetMedian(objs []int, j int) float64 {
-	buf := make([]float64, len(objs))
-	for t, i := range objs {
-		buf[t] = ds.At(i, j)
-	}
-	return stats.MedianInPlace(buf)
+	return stats.MedianInPlace(ds.GatherColumn(objs, j, make([]float64, len(objs))))
 }
 
 // SubsetMeanVariance returns the mean µ_ij and unbiased sample variance
@@ -261,10 +333,7 @@ func (ds *Dataset) MedianVector(objs []int) []float64 {
 	out := make([]float64, ds.d)
 	buf := make([]float64, len(objs))
 	for j := 0; j < ds.d; j++ {
-		for t, i := range objs {
-			buf[t] = ds.At(i, j)
-		}
-		out[j] = stats.MedianInPlace(buf)
+		out[j] = stats.MedianInPlace(ds.GatherColumn(objs, j, buf))
 	}
 	return out
 }

@@ -85,6 +85,15 @@ func ParallelChunks(total, chunkSize, workers int, fn func(worker, lo, hi int)) 
 		}
 		return
 	}
+	parallelChunks(total, chunkSize, workers, fn)
+}
+
+// parallelChunks is the multi-goroutine tail of ParallelChunks, split out so
+// the serial path above stays allocation-free: the chunk cursor and wait
+// group below are captured by the worker goroutines and therefore live on
+// the heap, a cost only the path that actually spawns goroutines should pay
+// (the zero-alloc kernel pins in core run through the serial path).
+func parallelChunks(total, chunkSize, workers int, fn func(worker, lo, hi int)) {
 	chunks := (total + chunkSize - 1) / chunkSize
 	if workers > chunks {
 		workers = chunks

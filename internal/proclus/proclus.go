@@ -476,19 +476,45 @@ func refineDimensions(ds *dataset.Dataset, medoids []int, assign []int, opts Opt
 			counts[c]++
 		}
 	} else {
-		engine.ParallelChunks(k, 1, workers, func(_, lo, hi int) {
+		// Each worker gathers its cluster's member rows once
+		// (Dataset.GatherRows — per-shard copy ranges, no per-element
+		// dispatch) and accumulates over the dense block. Members are
+		// collected in ascending point order, which is exactly the
+		// accumulation order of the serial single pass — a point only ever
+		// contributes to its own cluster's row — so X is bit-identical.
+		type gatherScratch struct {
+			members []int
+			rows    []float64
+		}
+		scratch := engine.NewScratch(workers, func() *gatherScratch {
+			return &gatherScratch{members: make([]int, 0, len(assign))}
+		})
+		engine.ParallelChunks(k, 1, workers, func(worker, lo, hi int) {
+			s := scratch.Get(worker)
 			for c := lo; c < hi; c++ {
-				mrow := ds.Row(medoids[c])
+				members := s.members[:0]
 				for p, pc := range assign {
-					if pc != c {
-						continue
+					if pc == c {
+						members = append(members, p)
 					}
-					prow := ds.Row(p)
-					for j := 0; j < d; j++ {
-						X[c][j] += math.Abs(prow[j] - mrow[j])
-					}
-					counts[c]++
 				}
+				s.members = members
+				if len(members) == 0 {
+					continue
+				}
+				if need := len(members) * d; cap(s.rows) < need {
+					s.rows = make([]float64, need)
+				}
+				rows := ds.GatherRows(members, s.rows[:len(members)*d])
+				mrow := ds.Row(medoids[c])
+				Xc := X[c]
+				for t := range members {
+					base := t * d
+					for j := 0; j < d; j++ {
+						Xc[j] += math.Abs(rows[base+j] - mrow[j])
+					}
+				}
+				counts[c] = len(members)
 			}
 		})
 	}

@@ -71,6 +71,15 @@
 // align one chunk per shard so each worker scans only its own shard's
 // memory.
 //
+// Hot loops never read the matrix element-wise: Dataset.GatherRows and
+// Dataset.GatherColumn bulk-copy a subset of rows (or one dimension of
+// them) into caller scratch with per-shard copy ranges, and SSPC's
+// dimension-selection pass runs on a columnar gather kernel built on them —
+// allocation-free in steady state and bit-identical to the element-wise
+// scan (see ARCHITECTURE.md, "The columnar evaluation kernel"). cmd/bench
+// records the measured effect of changes to these paths in committed
+// BENCH_<n>.json baselines.
+//
 // The subpackages under internal/ hold the implementations; this package is
 // the stable public surface.
 package sspc
