@@ -212,6 +212,38 @@ func BenchmarkEvaluateColumnar(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkEvaluateParallel measures the cluster-chunked Step-4 evaluation
+// path — one full SelectDim + φ_i pass over all K clusters through
+// engine.MapChunks, one cluster per chunk with per-worker gather scratch —
+// at 1/2/4/8 workers. The returned Σφ is bit-identical across the
+// sub-benchmarks (pinned by TestConformanceParallelEvaluation and the core
+// parallel-evaluation tests); only wall-clock time changes. Single-core CI
+// caveat: with one core the curve is flat and the workers>1 legs only add
+// scheduling overhead — run on multi-core hardware for the speedup numbers.
+func BenchmarkEvaluateParallel(b *testing.B) {
+	gt := benchGroundTruth(b, 2000, 200, 8, 12)
+	clusters := make([][]int, 8)
+	for c := range clusters {
+		clusters[c] = gt.MembersOfClass(c)
+	}
+	var sink float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eb, err := core.NewParallelEvalBench(gt.Data, DefaultOptions(8), clusters, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink = eb.Evaluate() // warm the per-worker gather/transpose scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = eb.Evaluate()
+			}
+		})
+	}
+	_ = sink
+}
+
 // BenchmarkGatherRows measures the shard-aware bulk row accessor feeding the
 // columnar kernel: gathering one cluster's worth of scattered member rows
 // into a dense block, flat vs shard-backed. Zero allocs/op by contract

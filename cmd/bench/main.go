@@ -1,23 +1,32 @@
 // Command bench runs the repository's named benchmark suite through `go
-// test -bench` and writes a machine-readable JSON baseline (BENCH_5.json),
-// so every performance PR leaves a pinned, diffable record of ns/op, B/op
-// and allocs/op per benchmark instead of a log line lost to CI history.
+// test -bench` and maintains the machine-readable JSON baselines
+// (BENCH_<n>.json, one per performance PR), so the perf trajectory is a
+// committed, diffable curve instead of log lines lost to CI history.
 //
-// Two modes:
+// Three modes:
 //
-//	bench [-bench regex] [-benchtime 1x] [-count 1] [-out BENCH_5.json]
-//	    runs the suite in the current module and writes the baseline
-//	bench -verify BENCH_5.json
+//	bench -n 6 [-bench regex] [-benchtime 300ms] [-count 2]
+//	    runs the suite in the current module and writes BENCH_6.json
+//	    (-out overrides the derived path; one of -n / -out is required so a
+//	    new run never silently overwrites a prior PR's baseline)
+//	bench -verify BENCH_6.json
 //	    checks an existing baseline: valid JSON, the expected kernel
-//	    benchmark keys present, sane metric values
+//	    benchmark keys present, sane metric values — all problems are
+//	    collected and reported in one pass
+//	bench -diff BENCH_5.json BENCH_6.json [-threshold 0.1] [-report-only]
+//	    compares two baselines key by key on ns/op with a relative noise
+//	    threshold (default ±10%), prints the per-key delta table, and exits
+//	    non-zero on any regression beyond the threshold unless -report-only
 //
 // The default suite covers the columnar evaluation kernel and its feeder
-// (BenchmarkEvaluateColumnar, BenchmarkGatherRows) plus the macro
+// (BenchmarkEvaluateColumnar, BenchmarkGatherRows), the cluster-chunked
+// parallel evaluation path (BenchmarkEvaluateParallel), and the macro
 // assignment/sharding benchmarks (BenchmarkAssignChunked,
-// BenchmarkClusterSharded). CI runs the suite at -benchtime=1x every PR —
-// a compile-and-run smoke gate, not a measurement — and verifies the
-// committed baseline's shape; real numbers come from multi-core hardware
-// (see docs/PERFORMANCE.md).
+// BenchmarkClusterSharded). CI runs the suite at -benchtime=1x every PR — a
+// compile-and-run smoke gate, not a measurement — verifies the committed
+// baseline's shape, and runs the cross-baseline diff in report-only mode
+// (single-core CI timings are noise; real numbers come from multi-core
+// hardware, see docs/PERFORMANCE.md).
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"regexp"
@@ -35,17 +45,23 @@ import (
 )
 
 // defaultBench is the named benchmark suite a bare `bench` run executes.
-const defaultBench = "^(BenchmarkEvaluateColumnar|BenchmarkGatherRows|BenchmarkAssignChunked|BenchmarkClusterSharded)$"
+const defaultBench = "^(BenchmarkEvaluateColumnar|BenchmarkEvaluateParallel|BenchmarkGatherRows|BenchmarkAssignChunked|BenchmarkClusterSharded)$"
 
 // requiredKeys are the benchmark names (GOMAXPROCS suffix stripped) a valid
 // baseline must contain: the four EvaluateColumnar legs that compare the
-// gather kernel against the per-element At scan, and the bulk accessor
-// feeding it.
+// gather kernel against the per-element At scan, the bulk accessor feeding
+// it, and the worker sweep of the cluster-chunked parallel evaluation path.
+// The speedup report derives its key strings from this list — it is the one
+// authoritative copy of the names.
 var requiredKeys = []string{
 	"BenchmarkEvaluateColumnar/flat/columnar",
 	"BenchmarkEvaluateColumnar/flat/atscan",
 	"BenchmarkEvaluateColumnar/shards=16/columnar",
 	"BenchmarkEvaluateColumnar/shards=16/atscan",
+	"BenchmarkEvaluateParallel/workers=1",
+	"BenchmarkEvaluateParallel/workers=2",
+	"BenchmarkEvaluateParallel/workers=4",
+	"BenchmarkEvaluateParallel/workers=8",
 	"BenchmarkGatherRows/flat",
 	"BenchmarkGatherRows/shards=16",
 }
@@ -74,14 +90,35 @@ type Baseline struct {
 
 func main() {
 	var (
-		benchRe   = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
-		benchtime = flag.String("benchtime", "", "go test -benchtime value (e.g. 1x, 100ms); empty uses the go default")
-		count     = flag.Int("count", 1, "go test -count value")
-		out       = flag.String("out", "BENCH_5.json", "output baseline path")
-		dir       = flag.String("dir", ".", "module directory to benchmark (the package is always the root package)")
-		verify    = flag.String("verify", "", "verify an existing baseline file instead of running benchmarks")
+		benchRe    = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+		benchtime  = flag.String("benchtime", "", "go test -benchtime value (e.g. 1x, 100ms); empty uses the go default")
+		count      = flag.Int("count", 1, "go test -count value")
+		out        = flag.String("out", "", "output baseline path (default BENCH_<n>.json from -n)")
+		n          = flag.Int("n", 0, "PR number the baseline belongs to; derives the default -out BENCH_<n>.json")
+		dir        = flag.String("dir", ".", "module directory to benchmark (the package is always the root package)")
+		verify     = flag.String("verify", "", "verify an existing baseline file instead of running benchmarks")
+		diff       = flag.Bool("diff", false, "compare two baselines: bench -diff OLD NEW")
+		threshold  = flag.Float64("threshold", 0.10, "relative ns/op noise threshold for -diff (0.10 = ±10%)")
+		reportOnly = flag.Bool("report-only", false, "with -diff: print the delta table but never exit non-zero")
 	)
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintf(os.Stderr, "bench: -diff needs exactly two baseline paths (OLD NEW), got %d\n", flag.NArg())
+			os.Exit(2)
+		}
+		regressed, err := diffBaselines(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: diff: %v\n", err)
+			os.Exit(1)
+		}
+		if regressed && !*reportOnly {
+			fmt.Fprintf(os.Stderr, "bench: regression beyond ±%.0f%% (rerun with -report-only to not gate)\n", *threshold*100)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *verify != "" {
 		if err := verifyBaseline(*verify); err != nil {
@@ -90,6 +127,14 @@ func main() {
 		}
 		fmt.Printf("bench: %s OK\n", *verify)
 		return
+	}
+
+	if *out == "" {
+		if *n <= 0 {
+			fmt.Fprintln(os.Stderr, "bench: pass -n <PR number> (writes BENCH_<n>.json) or an explicit -out path; refusing to guess and overwrite a prior baseline")
+			os.Exit(2)
+		}
+		*out = fmt.Sprintf("BENCH_%d.json", *n)
 	}
 
 	base, err := runSuite(*dir, *benchRe, *benchtime, *count)
@@ -185,7 +230,10 @@ func parseOutput(out string) (*Baseline, error) {
 }
 
 // parseBenchLine parses one `BenchmarkName-8  N  12.3 ns/op  4 B/op ...`
-// line into its GOMAXPROCS-stripped name and metrics.
+// line into its GOMAXPROCS-stripped name and metrics. A metric field whose
+// value does not parse as a float (custom b.ReportMetric units can emit
+// anything) is skipped on its own — the rest of the line's metrics are kept
+// rather than dropping the whole benchmark result.
 func parseBenchLine(line string) (string, Metrics, bool) {
 	match := benchLine.FindStringSubmatch(line)
 	if match == nil {
@@ -200,7 +248,7 @@ func parseBenchLine(line string) (string, Metrics, bool) {
 	for i := 0; i+1 < len(fields); i += 2 {
 		val, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return "", Metrics{}, false
+			continue
 		}
 		switch unit := fields[i+1]; unit {
 		case "ns/op":
@@ -219,37 +267,70 @@ func parseBenchLine(line string) (string, Metrics, bool) {
 	return match[1], m, true
 }
 
-// verifyBaseline checks that a baseline file is valid JSON with every
-// required kernel benchmark key and sane metric values.
-func verifyBaseline(path string) error {
+// loadBaseline reads and unmarshals one baseline file.
+func loadBaseline(path string) (*Baseline, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var base Baseline
 	if err := json.Unmarshal(buf, &base); err != nil {
-		return fmt.Errorf("invalid JSON: %w", err)
+		return nil, fmt.Errorf("%s: invalid JSON: %w", path, err)
+	}
+	return &base, nil
+}
+
+// verifyBaseline checks that a baseline file is valid JSON with every
+// required kernel benchmark key and sane metric values. All problems —
+// missing keys and implausible metrics alike — are collected and reported in
+// one error, so a broken baseline is diagnosed in a single run.
+func verifyBaseline(path string) error {
+	base, err := loadBaseline(path)
+	if err != nil {
+		return err
 	}
 	if len(base.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmarks recorded")
 	}
-	var missing []string
+	var problems []string
 	for _, key := range requiredKeys {
 		m, ok := base.Benchmarks[key]
 		if !ok {
-			missing = append(missing, key)
+			problems = append(problems, fmt.Sprintf("missing required benchmark key %q", key))
 			continue
 		}
 		if m.N <= 0 || m.NsPerOp <= 0 {
-			return fmt.Errorf("benchmark %q has implausible metrics (n=%d, ns/op=%v)", key, m.N, m.NsPerOp)
+			problems = append(problems, fmt.Sprintf("benchmark %q has implausible metrics (n=%d, ns/op=%v)", key, m.N, m.NsPerOp))
 		}
 	}
-	if len(missing) > 0 {
-		sort.Strings(missing)
-		return fmt.Errorf("missing required benchmark keys: %s", strings.Join(missing, ", "))
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return fmt.Errorf("%d problem(s):\n  %s", len(problems), strings.Join(problems, "\n  "))
 	}
-	reportKernelSpeedup(&base)
+	reportKernelSpeedup(base)
 	return nil
+}
+
+// kernelStorages derives the storage-variant names of the kernel-vs-At-scan
+// comparison from requiredKeys (the "BenchmarkEvaluateColumnar/<storage>/…"
+// entries), so the report loop and the verification list can never drift
+// apart.
+func kernelStorages() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, key := range requiredKeys {
+		rest, ok := strings.CutPrefix(key, "BenchmarkEvaluateColumnar/")
+		if !ok {
+			continue
+		}
+		storage, _, ok := strings.Cut(rest, "/")
+		if !ok || seen[storage] {
+			continue
+		}
+		seen[storage] = true
+		out = append(out, storage)
+	}
+	return out
 }
 
 // reportKernelSpeedup prints the gather-kernel-vs-At-scan ratios when both
@@ -257,7 +338,7 @@ func verifyBaseline(path string) error {
 // whose single-iteration timings are noise, so the gate is the committed
 // baseline's shape, not a machine-dependent threshold.
 func reportKernelSpeedup(base *Baseline) {
-	for _, storage := range []string{"flat", "shards=16"} {
+	for _, storage := range kernelStorages() {
 		col, okC := base.Benchmarks["BenchmarkEvaluateColumnar/"+storage+"/columnar"]
 		at, okA := base.Benchmarks["BenchmarkEvaluateColumnar/"+storage+"/atscan"]
 		if okC && okA && col.NsPerOp > 0 {
@@ -265,4 +346,86 @@ func reportKernelSpeedup(base *Baseline) {
 				storage, col.NsPerOp, at.NsPerOp, at.NsPerOp/col.NsPerOp)
 		}
 	}
+}
+
+// deltaStatus classifies one key's ns/op movement against the threshold.
+func deltaStatus(delta, threshold float64) string {
+	switch {
+	case delta > threshold:
+		return "REGRESSION"
+	case delta < -threshold:
+		return "improvement"
+	default:
+		return "ok"
+	}
+}
+
+// diffBaselines compares two baselines key by key on ns/op and prints a
+// per-key delta table. Keys present in only one file are listed as added /
+// removed (informational — a suite is allowed to grow or retire
+// benchmarks). Returns whether any shared key regressed beyond the
+// threshold; the caller decides whether that gates.
+func diffBaselines(w io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+	oldBase, err := loadBaseline(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newBase, err := loadBaseline(newPath)
+	if err != nil {
+		return false, err
+	}
+
+	keys := map[string]bool{}
+	for k := range oldBase.Benchmarks {
+		keys[k] = true
+	}
+	for k := range newBase.Benchmarks {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	width := len("benchmark")
+	for _, k := range sorted {
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	fmt.Fprintf(w, "bench: diff %s -> %s (noise threshold ±%.0f%%)\n", oldPath, newPath, threshold*100)
+	fmt.Fprintf(w, "%-*s  %14s  %14s  %8s  %s\n", width, "benchmark", "old ns/op", "new ns/op", "delta", "status")
+
+	regressed := false
+	var regressions, improvements, added, removed int
+	for _, k := range sorted {
+		o, inOld := oldBase.Benchmarks[k]
+		n, inNew := newBase.Benchmarks[k]
+		switch {
+		case !inNew:
+			removed++
+			fmt.Fprintf(w, "%-*s  %14.0f  %14s  %8s  removed\n", width, k, o.NsPerOp, "-", "-")
+		case !inOld:
+			added++
+			fmt.Fprintf(w, "%-*s  %14s  %14.0f  %8s  added\n", width, k, "-", n.NsPerOp, "-")
+		case o.NsPerOp <= 0:
+			// A zero old reading has no meaningful ratio; report, never gate.
+			fmt.Fprintf(w, "%-*s  %14.0f  %14.0f  %8s  old reading implausible\n", width, k, o.NsPerOp, n.NsPerOp, "-")
+		default:
+			delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+			status := deltaStatus(delta, threshold)
+			switch status {
+			case "REGRESSION":
+				regressed = true
+				regressions++
+			case "improvement":
+				improvements++
+			}
+			fmt.Fprintf(w, "%-*s  %14.0f  %14.0f  %+7.1f%%  %s\n", width, k, o.NsPerOp, n.NsPerOp, delta*100, status)
+		}
+	}
+	fmt.Fprintf(w, "bench: %d regression(s) / %d improvement(s) beyond ±%.0f%%; %d key(s) added, %d removed\n",
+		regressions, improvements, threshold*100, added, removed)
+	return regressed, nil
 }

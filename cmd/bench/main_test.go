@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -30,6 +32,15 @@ func TestParseBenchLine(t *testing.T) {
 			line: "BenchmarkAblationGrid/g20c3-4 12 5000 ns/op 0.812 ARI/op",
 			name: "BenchmarkAblationGrid/g20c3",
 			want: Metrics{Procs: 4, N: 12, NsPerOp: 5000, Extra: map[string]float64{"ARI/op": 0.812}},
+			ok:   true,
+		},
+		{
+			// A custom-metric field that fails float parsing must lose only
+			// that field — the rest of the line's metrics are kept (the old
+			// parser dropped the whole result line).
+			line: "BenchmarkAblationGrid/g20c3-4 12 5000 ns/op NaN%CI ARI/op 3 allocs/op",
+			name: "BenchmarkAblationGrid/g20c3",
+			want: Metrics{Procs: 4, N: 12, NsPerOp: 5000, AllocsPerOp: 3},
 			ok:   true,
 		},
 		{line: "PASS", ok: false},
@@ -124,11 +135,156 @@ func TestVerifyBaseline(t *testing.T) {
 		t.Error("baseline with implausible metrics accepted")
 	}
 
+	// Mixed breakage: every problem — the missing key AND every implausible
+	// metric — must surface in one run, not abort at the first.
+	mixed := &Baseline{Benchmarks: map[string]Metrics{}}
+	for _, key := range requiredKeys[1:] {
+		mixed.Benchmarks[key] = Metrics{N: 0, NsPerOp: 0}
+	}
+	err := verifyBaseline(write("mixed.json", mixed))
+	if err == nil {
+		t.Fatal("mixed broken baseline accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, requiredKeys[0]) || !strings.Contains(msg, "missing") {
+		t.Errorf("error does not name the missing key %q: %v", requiredKeys[0], err)
+	}
+	for _, key := range requiredKeys[1:] {
+		if !strings.Contains(msg, key) {
+			t.Errorf("error does not name implausible key %q in the same run: %v", key, err)
+		}
+	}
+
 	notJSON := filepath.Join(dir, "not.json")
 	if err := os.WriteFile(notJSON, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := verifyBaseline(notJSON); err == nil {
 		t.Error("malformed JSON accepted")
+	}
+}
+
+// writeBaseline marshals a Benchmarks map to a temp file for diff tests.
+func writeBaseline(t *testing.T, dir, name string, marks map[string]Metrics) string {
+	t.Helper()
+	buf, err := json.MarshalIndent(&Baseline{Benchmarks: marks}, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffBaselines covers the four key-comparison outcomes of the diff
+// gate: a regression beyond the threshold (gates), an improvement beyond it
+// and movement within the noise band (neither gates), and keys present in
+// only one file (reported, never gate).
+func TestDiffBaselines(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBaseline(t, dir, "old.json", map[string]Metrics{
+		"BenchmarkA/regressed": {N: 10, NsPerOp: 1000},
+		"BenchmarkB/improved":  {N: 10, NsPerOp: 1000},
+		"BenchmarkC/noise":     {N: 10, NsPerOp: 1000},
+		"BenchmarkD/retired":   {N: 10, NsPerOp: 500},
+		"BenchmarkZ/zeroedOld": {N: 10, NsPerOp: 0},
+	})
+	newPath := writeBaseline(t, dir, "new.json", map[string]Metrics{
+		"BenchmarkA/regressed": {N: 10, NsPerOp: 1300}, // +30%
+		"BenchmarkB/improved":  {N: 10, NsPerOp: 600},  // -40%
+		"BenchmarkC/noise":     {N: 10, NsPerOp: 1050}, // +5%
+		"BenchmarkE/fresh":     {N: 10, NsPerOp: 700},  // only in NEW
+		"BenchmarkZ/zeroedOld": {N: 10, NsPerOp: 10},
+	})
+
+	var buf bytes.Buffer
+	regressed, err := diffBaselines(&buf, oldPath, newPath, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Error("a +30% key did not flag a regression")
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"BenchmarkA/regressed", "REGRESSION",
+		"BenchmarkB/improved", "improvement",
+		"BenchmarkC/noise", "ok",
+		"BenchmarkD/retired", "removed",
+		"BenchmarkE/fresh", "added",
+		"1 regression(s) / 1 improvement(s)",
+		"1 key(s) added, 1 removed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff table missing %q:\n%s", want, out)
+		}
+	}
+
+	// Without the regressed key the diff must come back clean: the asymmetric
+	// keys and the unratioable zero-old reading never gate.
+	cleanNew := writeBaseline(t, dir, "clean.json", map[string]Metrics{
+		"BenchmarkB/improved":  {N: 10, NsPerOp: 600},
+		"BenchmarkC/noise":     {N: 10, NsPerOp: 1050},
+		"BenchmarkE/fresh":     {N: 10, NsPerOp: 700},
+		"BenchmarkZ/zeroedOld": {N: 10, NsPerOp: 10},
+	})
+	buf.Reset()
+	regressed, err = diffBaselines(&buf, oldPath, cleanNew, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("diff with no shared regressed key gated anyway:\n%s", buf.String())
+	}
+
+	// A wider threshold absorbs the +30% as noise.
+	buf.Reset()
+	regressed, err = diffBaselines(&buf, oldPath, newPath, 0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Error("+30% gated at a ±50% threshold")
+	}
+
+	if _, err := diffBaselines(&buf, filepath.Join(dir, "absent.json"), newPath, 0.10); err == nil {
+		t.Error("missing OLD baseline accepted")
+	}
+}
+
+func TestDeltaStatus(t *testing.T) {
+	cases := []struct {
+		delta, threshold float64
+		want             string
+	}{
+		{0.11, 0.10, "REGRESSION"},
+		{-0.11, 0.10, "improvement"},
+		{0.09, 0.10, "ok"},
+		{-0.09, 0.10, "ok"},
+		{0.10, 0.10, "ok"}, // boundary is inclusive noise
+	}
+	for _, c := range cases {
+		if got := deltaStatus(c.delta, c.threshold); got != c.want {
+			t.Errorf("deltaStatus(%v, %v) = %q, want %q", c.delta, c.threshold, got, c.want)
+		}
+	}
+}
+
+// TestKernelStoragesDerivedFromRequiredKeys pins the single-source-of-truth
+// property: the storage variants the speedup report iterates come from
+// requiredKeys, so adding a storage leg there automatically extends the
+// report.
+func TestKernelStoragesDerivedFromRequiredKeys(t *testing.T) {
+	got := kernelStorages()
+	want := []string{"flat", "shards=16"}
+	if len(got) != len(want) {
+		t.Fatalf("kernelStorages() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kernelStorages() = %v, want %v", got, want)
+		}
 	}
 }

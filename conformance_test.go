@@ -29,6 +29,12 @@ import (
 //     row-range shards (dataset.Shards) changes memory layout only — every
 //     (shards, workers, chunk) combination reproduces the flat Result byte
 //     for byte, and single-restart sharded runs still hit the golden pins.
+//  8. Parallel-evaluation invariance: the cluster-chunked Step-4 map-reduce
+//     (engine.MapChunks, one cluster per chunk, φ folded in cluster-index
+//     order) reproduces the serial golden pins at worker counts below, at,
+//     and above K — the straddle that routes every evaluation-chunking
+//     branch (single-chunk short-circuit, partial slot reuse, more workers
+//     than clusters).
 
 // confRun carries the engine knobs a conformance driver forwards.
 type confRun struct {
@@ -186,6 +192,34 @@ func TestConformanceChunkSizeInvariance(t *testing.T) {
 						t.Errorf("ChunkSize=%d Workers=%d: fingerprint = %s, want %s",
 							chunkSize, workers, got, a.golden)
 					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceParallelEvaluation is the parallel-evaluation leg (leg 8):
+// with Restarts = 1 the whole worker budget flows into the intra-restart
+// loops, so the per-cluster Step-4 evaluation map-reduce (and PROCLUS's
+// per-medoid dimension passes) chunk across Workers goroutines. The sweep
+// straddles the fixtures' K = 3 — fewer workers than clusters (slot reuse
+// across chunks), exactly K, and far more than K (idle slots) — and every
+// point must reproduce the serial golden pin bit for bit, because the φ fold
+// visits one-cluster chunks in ascending cluster index: the exact addition
+// sequence of the serial loop.
+func TestConformanceParallelEvaluation(t *testing.T) {
+	gt := detFixture(t)
+	for _, a := range conformanceAlgos() {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			for _, workers := range []int{2, 3, 5, 16} {
+				res, err := a.run(gt.Data, confRun{seed: a.goldenSeed, restarts: 1, workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := fingerprint(res); got != a.golden {
+					t.Errorf("Workers=%d: fingerprint = %s, want %s (parallel evaluation diverged from serial pin)",
+						workers, got, a.golden)
 				}
 			}
 		})

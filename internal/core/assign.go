@@ -32,7 +32,6 @@ type assigner struct {
 	workers   int
 	chunkSize int
 	scratch   *engine.Scratch[*evalScratch]
-	evals     []clusterEval
 	dimsOut   [][]int // per-cluster selected-dims storage, cap d each
 
 	// Packed per-cluster assignment triples: for cluster i and its t-th
@@ -50,7 +49,7 @@ type assigner struct {
 	thr      *thresholds
 	out      []int
 	assignFn func(worker, lo, hi int)
-	evalFn   func(worker, lo, hi int)
+	evalFn   func(worker, lo, hi int) float64
 }
 
 // newAssigner sizes the scratch pool for a dataset of n objects and d
@@ -68,7 +67,6 @@ func newAssigner(n, d, k, workers, chunkSize int) *assigner {
 		workers:   workers,
 		chunkSize: chunkSize,
 		scratch:   engine.NewScratch(slots, func() *evalScratch { return newEvalScratch(d) }),
-		evals:     make([]clusterEval, k),
 		dimsOut:   make([][]int, k),
 		packDims:  make([][]int, k),
 		packRep:   make([][]float64, k),
@@ -100,15 +98,26 @@ func newAssigner(n, d, k, workers, chunkSize int) *assigner {
 			a.out[x] = bestC
 		}
 	}
-	a.evalFn = func(worker, lo, hi int) {
+	a.evalFn = func(worker, lo, hi int) float64 {
 		s := a.scratch.Get(worker)
+		sum := 0.0
 		for i := lo; i < hi; i++ {
-			a.evals[i] = evaluateCluster(a.ds, a.clusters[i].members, a.thr, s, a.dimsOut[i])
-			a.dimsOut[i] = a.evals[i].dims
+			st := a.clusters[i]
+			ev := evaluateCluster(a.ds, st.members, a.thr, s, a.dimsOut[i])
+			a.dimsOut[i] = ev.dims
+			st.dims = ev.dims
+			st.phi = ev.phi
+			sum += ev.phi
 		}
+		return sum
 	}
 	return a
 }
+
+// addPhi is the ordered fold of the evaluation map-reduce. Because evaluate
+// runs one cluster per chunk, each chunk value is a single φ_i and the fold
+// reproduces the serial Σ_i φ_i addition order exactly.
+func addPhi(acc, chunk float64) float64 { return acc + chunk }
 
 // assign scores every object against all K candidate clusters and writes the
 // winning cluster (or cluster.Outlier) into assign[x], in parallel over
@@ -134,22 +143,21 @@ func (a *assigner) assign(ds *dataset.Dataset, clusters []*state, sHat [][]float
 	a.ds, a.out = nil, nil
 }
 
-// evaluate reruns SelectDim on every cluster's current members (one unit of
-// work per cluster, each on its own worker-slot gather scratch), then applies
-// the results and sums φ_i in cluster-index order. The parallel part writes
-// only evals[i] and dimsOut[i]; the ordered serial reduction keeps the
-// floating-point sum byte-identical to the serial loop. The returned dims
-// slices alias the assigner's per-cluster buffers, which the caller's cluster
-// states own until the next evaluate call.
+// evaluate reruns SelectDim on every cluster's current members and returns
+// Σ_i φ_i, as one engine.MapChunks map-reduce over the cluster list: one
+// cluster per chunk, each evaluated on its own worker-slot gather scratch,
+// with the per-chunk φ values folded serially in ascending cluster index.
+// Because a chunk is exactly one cluster, the fold IS the serial Σ_i φ_i
+// loop — same additions, same order, bit-identical for every worker count —
+// and the chunk bodies write only their own cluster's state (st.dims,
+// st.phi, dimsOut[i]), so the parallel writes stay disjoint. K = 1 hits
+// MapChunks' single-chunk short-circuit and runs inline with no fold call.
+// The dims slices installed on the states alias the assigner's per-cluster
+// buffers, which the caller's cluster states own until the next evaluate
+// call.
 func (a *assigner) evaluate(ds *dataset.Dataset, clusters []*state, thr *thresholds) float64 {
 	a.ds, a.clusters, a.thr = ds, clusters, thr
-	engine.ParallelChunks(len(clusters), 1, a.scratch.Slots(), a.evalFn)
+	total := engine.MapChunks(len(clusters), 1, a.scratch.Slots(), a.evalFn, addPhi)
 	a.ds, a.clusters, a.thr = nil, nil, nil
-	total := 0.0
-	for i, st := range clusters {
-		st.dims = a.evals[i].dims
-		st.phi = a.evals[i].phi
-		total += a.evals[i].phi
-	}
 	return total
 }

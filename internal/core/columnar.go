@@ -187,3 +187,45 @@ func sumSelected(evals []dimEval) float64 {
 	}
 	return phi
 }
+
+// ParallelEvalBench exposes the cluster-chunked Step-4 evaluation path — the
+// engine.MapChunks map-reduce assigner.evaluate runs, one cluster per chunk
+// with per-worker gather scratch and the φ fold in cluster-index order — so
+// the repository benchmark suite (BenchmarkEvaluateParallel) can chart its
+// scaling across worker counts. Evaluate returns Σ_i φ_i, which is
+// bit-identical for every worker count (the conformance suite's
+// parallel-evaluation leg pins the same property end to end). Not safe for
+// concurrent use.
+type ParallelEvalBench struct {
+	ds       *dataset.Dataset
+	thr      *thresholds
+	par      *assigner
+	clusters []*state
+}
+
+// NewParallelEvalBench builds the harness over fixed cluster member lists
+// (one per cluster, as Step 3 would produce them) with `workers` goroutines
+// for the chunked evaluation.
+func NewParallelEvalBench(ds *dataset.Dataset, opts Options, membersByCluster [][]int, workers int) (*ParallelEvalBench, error) {
+	opts, err := opts.normalized(ds)
+	if err != nil {
+		return nil, err
+	}
+	k := len(membersByCluster)
+	clusters := make([]*state, k)
+	for i, members := range membersByCluster {
+		clusters[i] = &state{members: members, prevSize: maxInt(2, len(members))}
+	}
+	return &ParallelEvalBench{
+		ds:       ds,
+		thr:      newThresholds(ds, opts),
+		par:      newAssigner(ds.N(), ds.D(), k, workers, opts.ChunkSize),
+		clusters: clusters,
+	}, nil
+}
+
+// Evaluate runs one full Step-4 pass (SelectDim + φ_i on every cluster,
+// chunked across the harness's workers) and returns Σ_i φ_i.
+func (b *ParallelEvalBench) Evaluate() float64 {
+	return b.par.evaluate(b.ds, b.clusters, b.thr)
+}

@@ -77,6 +77,28 @@ func TestMapChunksWorkerCountInvariance(t *testing.T) {
 	}
 }
 
+// TestMapChunksSingleChunkShortCircuit: a range that fits one chunk (the
+// K=1 case of the cluster-chunked evaluation) returns fn's value directly —
+// no fold call, no goroutines, worker slot 0 — at every worker count.
+func TestMapChunksSingleChunkShortCircuit(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		calls := 0
+		got := MapChunks(1, 1, workers, func(worker, lo, hi int) int {
+			calls++
+			if worker != 0 || lo != 0 || hi != 1 {
+				t.Fatalf("workers=%d: fn(worker=%d, lo=%d, hi=%d), want (0, 0, 1)", workers, worker, lo, hi)
+			}
+			return 42
+		}, func(acc, chunk int) int {
+			t.Fatalf("workers=%d: fold called on a single-chunk range", workers)
+			return 0
+		})
+		if got != 42 || calls != 1 {
+			t.Fatalf("workers=%d: got %d after %d fn calls, want 42 after 1", workers, got, calls)
+		}
+	}
+}
+
 // TestMapChunksEmpty: total <= 0 returns the zero value without calling fn.
 func TestMapChunksEmpty(t *testing.T) {
 	got := MapChunks(0, 4, 2, func(_, _, _ int) int {

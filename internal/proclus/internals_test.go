@@ -57,7 +57,11 @@ func TestFindDimensionsPicksRelevantOnes(t *testing.T) {
 		members := gt.MembersOfClass(c)
 		medoids[c] = members[len(members)/2]
 	}
-	dims := findDimensions(gt.Data, medoids, opts)
+	dims := findDimensions(gt.Data, medoids, opts, 1)
+	// The per-medoid chunked path must reproduce the serial pass exactly.
+	if par := findDimensions(gt.Data, medoids, opts, 8); !dimsEqual(dims, par) {
+		t.Errorf("findDimensions workers=8 diverged from workers=1:\n  1: %v\n  8: %v", dims, par)
+	}
 	total := 0
 	hits := 0
 	for c := 0; c < 3; c++ {
@@ -78,6 +82,23 @@ func TestFindDimensionsPicksRelevantOnes(t *testing.T) {
 	if frac := float64(hits) / float64(total); frac < 0.6 {
 		t.Errorf("only %.2f of selected dims are truly relevant", frac)
 	}
+}
+
+func dimsEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for t := range a[i] {
+			if a[i][t] != b[i][t] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func TestAssignPointsCostNonNegative(t *testing.T) {

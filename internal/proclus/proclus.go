@@ -185,7 +185,7 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*clu
 	iterations := 0
 	for iterations < opts.MaxIterations && stall < opts.MaxStall {
 		iterations++
-		dims := findDimensions(ds, medoids, opts)
+		dims := findDimensions(ds, medoids, opts, intra)
 		cost := assignPoints(ds, medoids, dims, assign, intra, opts.ChunkSize)
 		if cost < bestCost {
 			bestCost = cost
@@ -230,7 +230,7 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*clu
 	// Refinement phase: redetermine dimensions from the final clusters
 	// (instead of localities) and reassign once.
 	if bestDims == nil {
-		bestDims = findDimensions(ds, bestMedoids, opts)
+		bestDims = findDimensions(ds, bestMedoids, opts, intra)
 	}
 	refined := refineDimensions(ds, bestMedoids, bestAssign, opts, intra)
 	finalCost := assignPoints(ds, bestMedoids, refined, bestAssign, intra, opts.ChunkSize)
@@ -294,47 +294,64 @@ func greedyPiercing(ds *dataset.Dataset, rng *stats.RNG, opts Options) []int {
 // each medoid, the locality L_i (points within δ_i, the distance to the
 // nearest other medoid) yields average per-dimension distances X_ij, whose
 // z-scores are ranked globally to distribute K·L dimensions with at least 2
-// per cluster.
-func findDimensions(ds *dataset.Dataset, medoids []int, opts Options) [][]int {
+// per cluster. The per-medoid locality passes — δ_i, the O(n·d) locality
+// scan, the X_i accumulation — are independent and each writes only X[i],
+// so they run one medoid per chunk across the intra-restart workers; within
+// a medoid the accumulation stays in ascending point order, so X (and the
+// returned dimension sets) are bit-identical for every worker count.
+func findDimensions(ds *dataset.Dataset, medoids []int, opts Options, workers int) [][]int {
 	k := len(medoids)
 	d := ds.D()
 	X := make([][]float64, k)
 
-	for i, m := range medoids {
-		// δ_i: distance to the nearest other medoid (all dimensions).
-		delta := math.Inf(1)
-		for j, other := range medoids {
-			if j == i {
-				continue
+	engine.ParallelChunks(k, 1, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m := medoids[i]
+			// δ_i: distance to the nearest other medoid (all dimensions).
+			delta := math.Inf(1)
+			for j, other := range medoids {
+				if j == i {
+					continue
+				}
+				if dist := ds.EuclideanSq(m, other, nil); dist < delta {
+					delta = dist
+				}
 			}
-			if dist := ds.EuclideanSq(m, other, nil); dist < delta {
-				delta = dist
+			// Locality: points within δ_i of the medoid.
+			var locality []int
+			for p := 0; p < ds.N(); p++ {
+				if ds.EuclideanSq(p, m, nil) <= delta {
+					locality = append(locality, p)
+				}
 			}
-		}
-		// Locality: points within δ_i of the medoid.
-		var locality []int
-		for p := 0; p < ds.N(); p++ {
-			if ds.EuclideanSq(p, m, nil) <= delta {
-				locality = append(locality, p)
+			if len(locality) == 0 {
+				locality = []int{m}
 			}
-		}
-		if len(locality) == 0 {
-			locality = []int{m}
-		}
-		X[i] = make([]float64, d)
-		mrow := ds.Row(m)
-		for _, p := range locality {
-			prow := ds.Row(p)
+			X[i] = make([]float64, d)
+			mrow := ds.Row(m)
+			for _, p := range locality {
+				prow := ds.Row(p)
+				for j := 0; j < d; j++ {
+					X[i][j] += math.Abs(prow[j] - mrow[j])
+				}
+			}
 			for j := 0; j < d; j++ {
-				X[i][j] += math.Abs(prow[j] - mrow[j])
+				X[i][j] /= float64(len(locality))
 			}
 		}
-		for j := 0; j < d; j++ {
-			X[i][j] /= float64(len(locality))
-		}
-	}
+	})
 
-	// Z-scores within each cluster.
+	return distributeDimensions(X, d, opts)
+}
+
+// distributeDimensions turns the per-cluster average-distance matrix X into
+// per-cluster dimension sets: z-scores within each cluster, then the greedy
+// global distribution — 2 per cluster first, then the globally smallest
+// z-scores until K·L dimensions are taken. Shared tail of findDimensions
+// (locality-based X) and refineDimensions (actual-cluster X); fully serial
+// and deterministic.
+func distributeDimensions(X [][]float64, d int, opts Options) [][]int {
+	k := len(X)
 	type scored struct {
 		cluster, dim int
 		z            float64
@@ -355,8 +372,6 @@ func findDimensions(ds *dataset.Dataset, medoids []int, opts Options) [][]int {
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a].z < all[b].z })
 
-	// Greedy distribution: 2 per cluster first, then the globally smallest
-	// z-scores until K·L dimensions are taken.
 	total := opts.K * opts.L
 	dims := make([][]int, k)
 	taken := 0
@@ -526,57 +541,7 @@ func refineDimensions(ds *dataset.Dataset, medoids []int, assign []int, opts Opt
 			X[i][j] /= float64(counts[i])
 		}
 	}
-
-	type scored struct {
-		cluster, dim int
-		z            float64
-	}
-	var all []scored
-	for i := 0; i < k; i++ {
-		var r stats.Running
-		for j := 0; j < d; j++ {
-			r.Add(X[i][j])
-		}
-		sigma := math.Sqrt(r.Variance())
-		if sigma == 0 {
-			sigma = 1
-		}
-		for j := 0; j < d; j++ {
-			all = append(all, scored{i, j, (X[i][j] - r.Mean()) / sigma})
-		}
-	}
-	sort.Slice(all, func(a, b int) bool { return all[a].z < all[b].z })
-	total := opts.K * opts.L
-	dims := make([][]int, k)
-	perCluster := make([][]scored, k)
-	for _, s := range all {
-		perCluster[s.cluster] = append(perCluster[s.cluster], s)
-	}
-	used := make(map[[2]int]bool)
-	taken := 0
-	for i := 0; i < k; i++ {
-		for t := 0; t < 2 && t < len(perCluster[i]); t++ {
-			s := perCluster[i][t]
-			dims[i] = append(dims[i], s.dim)
-			used[[2]int{i, s.dim}] = true
-			taken++
-		}
-	}
-	for _, s := range all {
-		if taken >= total {
-			break
-		}
-		if used[[2]int{s.cluster, s.dim}] {
-			continue
-		}
-		dims[s.cluster] = append(dims[s.cluster], s.dim)
-		used[[2]int{s.cluster, s.dim}] = true
-		taken++
-	}
-	for i := range dims {
-		sort.Ints(dims[i])
-	}
-	return dims
+	return distributeDimensions(X, d, opts)
 }
 
 // markOutliers discards points outside every medoid's sphere of influence:
