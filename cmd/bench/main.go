@@ -13,10 +13,12 @@
 //	    checks an existing baseline: valid JSON, the expected kernel
 //	    benchmark keys present, sane metric values — all problems are
 //	    collected and reported in one pass
-//	bench -diff BENCH_5.json BENCH_6.json [-threshold 0.1] [-report-only]
+//	bench -diff [-threshold 0.1] [-report-only] BENCH_5.json BENCH_6.json
 //	    compares two baselines key by key on ns/op with a relative noise
 //	    threshold (default ±10%), prints the per-key delta table, and exits
 //	    non-zero on any regression beyond the threshold unless -report-only
+//	    (flags after the paths are rescanned too, so the trailing order
+//	    also works despite the std flag package stopping at a positional)
 //
 // The default suite covers the columnar evaluation kernel and its feeder
 // (BenchmarkEvaluateColumnar, BenchmarkGatherRows), the cluster-chunked
@@ -104,17 +106,18 @@ func main() {
 	flag.Parse()
 
 	if *diff {
-		if flag.NArg() != 2 {
-			fmt.Fprintf(os.Stderr, "bench: -diff needs exactly two baseline paths (OLD NEW), got %d\n", flag.NArg())
+		paths := positionalArgs(flag.CommandLine, flag.Args())
+		if len(paths) != 2 {
+			fmt.Fprintf(os.Stderr, "bench: -diff needs exactly two baseline paths (OLD NEW), got %d\n", len(paths))
 			os.Exit(2)
 		}
-		regressed, err := diffBaselines(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		regressed, err := diffBaselines(os.Stdout, paths[0], paths[1], *threshold)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: diff: %v\n", err)
 			os.Exit(1)
 		}
 		if regressed && !*reportOnly {
-			fmt.Fprintf(os.Stderr, "bench: regression beyond ±%.0f%% (rerun with -report-only to not gate)\n", *threshold*100)
+			fmt.Fprintf(os.Stderr, "bench: regression beyond ±%.0f%% (rerun with -diff -report-only OLD NEW to not gate)\n", *threshold*100)
 			os.Exit(1)
 		}
 		return
@@ -154,6 +157,37 @@ func main() {
 	}
 	fmt.Printf("bench: wrote %s (%d benchmarks)\n", *out, len(base.Benchmarks))
 	reportKernelSpeedup(base)
+}
+
+// positionalArgs collects the positional arguments left after fs has parsed
+// the command line, rescanning any flags that appear after a positional: the
+// std flag package stops flag parsing at the first non-flag argument, so
+// `bench -diff OLD NEW -report-only` would otherwise report three
+// positionals and silently ignore -report-only. Re-parsed flag values land
+// in the same registered variables, so trailing flags behave exactly like
+// leading ones. A literal "--" ends flag scanning; everything after it is
+// positional.
+func positionalArgs(fs *flag.FlagSet, args []string) []string {
+	var pos []string
+	for len(args) > 0 {
+		arg := args[0]
+		if arg == "--" {
+			return append(pos, args[1:]...)
+		}
+		if len(arg) > 1 && arg[0] == '-' {
+			// ExitOnError FlagSets (flag.CommandLine) never return an error;
+			// a ContinueOnError set stops here rather than looping on the
+			// unparseable flag.
+			if err := fs.Parse(args); err != nil {
+				return pos
+			}
+			args = fs.Args()
+			continue
+		}
+		pos = append(pos, arg)
+		args = args[1:]
+	}
+	return pos
 }
 
 // runSuite executes the benchmarks and parses the output into a Baseline.

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -68,6 +70,62 @@ func TestParseBenchLine(t *testing.T) {
 				t.Errorf("parseBenchLine(%q) extra[%s] = %v, want %v", c.line, unit, m.Extra[unit], val)
 			}
 		}
+	}
+}
+
+// TestPositionalArgs pins the trailing-flag tolerance of -diff mode: flags
+// after the baseline paths (where the std flag package stops scanning) must
+// still be parsed into their registered variables, with only the paths
+// returned as positionals — the ordering CI's diff step used before the
+// flags-first fix, and one a user will plausibly type again.
+func TestPositionalArgs(t *testing.T) {
+	cases := []struct {
+		args       []string
+		wantPos    []string
+		wantReport bool
+		wantThresh float64
+	}{
+		// Flags-first: flag.Parse consumed everything, nothing to rescan.
+		{[]string{"old.json", "new.json"}, []string{"old.json", "new.json"}, false, 0.10},
+		// Trailing bool flag after both positionals.
+		{[]string{"old.json", "new.json", "-report-only"}, []string{"old.json", "new.json"}, true, 0.10},
+		// Flags interleaved between and after positionals.
+		{[]string{"old.json", "-threshold", "0.25", "new.json", "-report-only"}, []string{"old.json", "new.json"}, true, 0.25},
+		// "--" ends flag scanning: a dashed name after it stays positional.
+		{[]string{"old.json", "--", "-new.json"}, []string{"old.json", "-new.json"}, false, 0.10},
+		// A bare "-" is a positional by flag-package convention.
+		{[]string{"-", "new.json"}, []string{"-", "new.json"}, false, 0.10},
+	}
+	for _, c := range cases {
+		fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		reportOnly := fs.Bool("report-only", false, "")
+		threshold := fs.Float64("threshold", 0.10, "")
+		got := positionalArgs(fs, c.args)
+		if len(got) != len(c.wantPos) {
+			t.Errorf("positionalArgs(%q) = %q, want %q", c.args, got, c.wantPos)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.wantPos[i] {
+				t.Errorf("positionalArgs(%q) = %q, want %q", c.args, got, c.wantPos)
+				break
+			}
+		}
+		if *reportOnly != c.wantReport {
+			t.Errorf("positionalArgs(%q): report-only = %v, want %v", c.args, *reportOnly, c.wantReport)
+		}
+		if *threshold != c.wantThresh {
+			t.Errorf("positionalArgs(%q): threshold = %v, want %v", c.args, *threshold, c.wantThresh)
+		}
+	}
+
+	// An unparseable flag on a ContinueOnError set must not loop forever;
+	// the positionals seen before it are still returned.
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	if got := positionalArgs(fs, []string{"old.json", "-no-such-flag", "new.json"}); len(got) != 1 || got[0] != "old.json" {
+		t.Errorf("positionalArgs with unknown flag = %q, want [old.json]", got)
 	}
 }
 

@@ -20,9 +20,9 @@ import (
 // Both loops are also allocation-free in steady state
 // (TestAssignZeroAllocSteadyState, TestEvaluateZeroAllocSteadyState): every
 // buffer — the packed assignment triples, the per-cluster dims outputs, the
-// gather/transpose scratch — lives on the assigner or its per-worker scratch
-// slots, and the chunk closures are built once at construction instead of
-// per call. The call state the closures need (dataset, clusters, outputs) is
+// gather/transpose scratch, the K-slot φ fold buffer handed to
+// MapChunksInto — lives on the assigner or its per-worker scratch slots, and
+// the chunk closures are built once at construction instead of per call. The call state the closures need (dataset, clusters, outputs) is
 // published to assigner fields before each ParallelChunks call; on the
 // parallel path ParallelChunks' WaitGroup provides the happens-before edge,
 // and a field is only written between calls, never during one.
@@ -32,7 +32,8 @@ type assigner struct {
 	workers   int
 	chunkSize int
 	scratch   *engine.Scratch[*evalScratch]
-	dimsOut   [][]int // per-cluster selected-dims storage, cap d each
+	dimsOut   [][]int   // per-cluster selected-dims storage, cap d each
+	phiBuf    []float64 // per-chunk φ results buffer for MapChunksInto, cap k
 
 	// Packed per-cluster assignment triples: for cluster i and its t-th
 	// selected dimension j = packDims[i][t], packRep[i][t] is the
@@ -68,6 +69,7 @@ func newAssigner(n, d, k, workers, chunkSize int) *assigner {
 		chunkSize: chunkSize,
 		scratch:   engine.NewScratch(slots, func() *evalScratch { return newEvalScratch(d) }),
 		dimsOut:   make([][]int, k),
+		phiBuf:    make([]float64, k),
 		packDims:  make([][]int, k),
 		packRep:   make([][]float64, k),
 		packSHat:  make([][]float64, k),
@@ -144,9 +146,11 @@ func (a *assigner) assign(ds *dataset.Dataset, clusters []*state, sHat [][]float
 }
 
 // evaluate reruns SelectDim on every cluster's current members and returns
-// Σ_i φ_i, as one engine.MapChunks map-reduce over the cluster list: one
+// Σ_i φ_i, as one engine.MapChunksInto map-reduce over the cluster list: one
 // cluster per chunk, each evaluated on its own worker-slot gather scratch,
-// with the per-chunk φ values folded serially in ascending cluster index.
+// with the per-chunk φ values folded serially in ascending cluster index
+// out of the assigner-owned phiBuf (so the multi-worker fold reuses one
+// K-slot buffer across iterations instead of allocating per call).
 // Because a chunk is exactly one cluster, the fold IS the serial Σ_i φ_i
 // loop — same additions, same order, bit-identical for every worker count —
 // and the chunk bodies write only their own cluster's state (st.dims,
@@ -157,7 +161,7 @@ func (a *assigner) assign(ds *dataset.Dataset, clusters []*state, sHat [][]float
 // call.
 func (a *assigner) evaluate(ds *dataset.Dataset, clusters []*state, thr *thresholds) float64 {
 	a.ds, a.clusters, a.thr = ds, clusters, thr
-	total := engine.MapChunks(len(clusters), 1, a.scratch.Slots(), a.evalFn, addPhi)
+	total := engine.MapChunksInto(len(clusters), 1, a.scratch.Slots(), a.phiBuf, a.evalFn, addPhi)
 	a.ds, a.clusters, a.thr = nil, nil, nil
 	return total
 }

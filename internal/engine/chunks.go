@@ -133,6 +133,19 @@ func parallelChunks(total, chunkSize, workers int, fn func(worker, lo, hi int)) 
 // the boundaries fall (disjoint list concatenation, or sums that chunk
 // splits leave bit-identical). total <= 0 returns the zero R.
 func MapChunks[R any](total, chunkSize, workers int, fn func(worker, lo, hi int) R, fold func(acc, chunk R) R) R {
+	return MapChunksInto(total, chunkSize, workers, nil, fn, fold)
+}
+
+// MapChunksInto is MapChunks with a caller-owned per-chunk results buffer:
+// the multi-worker path needs one R slot per chunk, and reuses buf's backing
+// array when cap(buf) covers the chunk count instead of allocating a fresh
+// slice every call. A steady-state caller whose chunk count is fixed (e.g.
+// one map-reduce per iteration over a constant K) can therefore keep the
+// reduction allocation-free beyond the goroutine spawns themselves. Every
+// slot in [0, chunks) is overwritten before the fold reads it, so stale buf
+// contents never leak into the result. buf == nil (or too small) falls back
+// to allocating, which is exactly MapChunks.
+func MapChunksInto[R any](total, chunkSize, workers int, buf []R, fn func(worker, lo, hi int) R, fold func(acc, chunk R) R) R {
 	if total <= 0 {
 		var zero R
 		return zero
@@ -155,7 +168,12 @@ func MapChunks[R any](total, chunkSize, workers int, fn func(worker, lo, hi int)
 		return acc
 	}
 	chunks := (total + chunkSize - 1) / chunkSize
-	results := make([]R, chunks)
+	var results []R
+	if cap(buf) >= chunks {
+		results = buf[:chunks]
+	} else {
+		results = make([]R, chunks)
+	}
 	ParallelChunks(total, chunkSize, workers, func(worker, lo, hi int) {
 		results[lo/chunkSize] = fn(worker, lo, hi)
 	})
