@@ -5,6 +5,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/copkmeans"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/grid"
@@ -153,6 +154,39 @@ func BenchmarkAssignChunked(b *testing.B) {
 			opts.Workers = workers
 			opts.ChunkSize = chunkSize
 			if _, err := Cluster(gt.Data, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) { run(b, workers, 0) })
+	}
+	for _, chunkSize := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("workers=8/chunk=%d", chunkSize), func(b *testing.B) { run(b, 8, chunkSize) })
+	}
+}
+
+// BenchmarkConstrainedAssignChunked measures one chunked COP-KMeans
+// constrained-assignment pass (the (component × center) distance scan plus
+// the serial feasibility placement) at 1/2/4/8 workers, plus the
+// chunk-granularity sweep at 8 workers. The pass output is byte-identical
+// across every sub-benchmark (the conformance suite pins the full Run);
+// only wall-clock time changes.
+func BenchmarkConstrainedAssignChunked(b *testing.B) {
+	gt := benchGroundTruth(b, 2000, 50, 4, 20)
+	kn, err := SampleKnowledge(gt, KnowledgeConfig{Kind: ObjectsOnly, Coverage: 1, Size: 5, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons := ConstraintsFromKnowledge(kn)
+	run := func(b *testing.B, workers, chunkSize int) {
+		bench, err := copkmeans.NewAssignBench(gt.Data, cons, 4, workers, chunkSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.Assign(); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -547,7 +581,7 @@ func BenchmarkBiclusterRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opts := BiclusterDefaults(2, 50)
 		opts.Seed = int64(i)
-		if _, err := Biclusters(gt.Data, opts); err != nil {
+		if _, _, err := Biclusters(gt.Data, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -22,9 +22,10 @@
 //
 // The default suite covers the columnar evaluation kernel and its feeder
 // (BenchmarkEvaluateColumnar, BenchmarkGatherRows), the cluster-chunked
-// parallel evaluation path (BenchmarkEvaluateParallel), and the macro
-// assignment/sharding benchmarks (BenchmarkAssignChunked,
-// BenchmarkClusterSharded). CI runs the suite at -benchtime=1x every PR — a
+// parallel evaluation path (BenchmarkEvaluateParallel), the chunked
+// COP-KMeans constrained-assignment pass
+// (BenchmarkConstrainedAssignChunked), and the macro assignment/sharding
+// benchmarks (BenchmarkAssignChunked, BenchmarkClusterSharded). CI runs the suite at -benchtime=1x every PR — a
 // compile-and-run smoke gate, not a measurement — verifies the committed
 // baseline's shape, and runs the cross-baseline diff in report-only mode
 // (single-core CI timings are noise; real numbers come from multi-core
@@ -47,12 +48,13 @@ import (
 )
 
 // defaultBench is the named benchmark suite a bare `bench` run executes.
-const defaultBench = "^(BenchmarkEvaluateColumnar|BenchmarkEvaluateParallel|BenchmarkGatherRows|BenchmarkAssignChunked|BenchmarkClusterSharded)$"
+const defaultBench = "^(BenchmarkEvaluateColumnar|BenchmarkEvaluateParallel|BenchmarkGatherRows|BenchmarkAssignChunked|BenchmarkConstrainedAssignChunked|BenchmarkClusterSharded)$"
 
 // requiredKeys are the benchmark names (GOMAXPROCS suffix stripped) a valid
 // baseline must contain: the four EvaluateColumnar legs that compare the
 // gather kernel against the per-element At scan, the bulk accessor feeding
-// it, and the worker sweep of the cluster-chunked parallel evaluation path.
+// it, and the worker sweeps of the cluster-chunked parallel evaluation path
+// and the chunked COP-KMeans constrained-assignment pass.
 // The speedup report derives its key strings from this list — it is the one
 // authoritative copy of the names.
 var requiredKeys = []string{
@@ -64,6 +66,10 @@ var requiredKeys = []string{
 	"BenchmarkEvaluateParallel/workers=2",
 	"BenchmarkEvaluateParallel/workers=4",
 	"BenchmarkEvaluateParallel/workers=8",
+	"BenchmarkConstrainedAssignChunked/workers=1",
+	"BenchmarkConstrainedAssignChunked/workers=2",
+	"BenchmarkConstrainedAssignChunked/workers=4",
+	"BenchmarkConstrainedAssignChunked/workers=8",
 	"BenchmarkGatherRows/flat",
 	"BenchmarkGatherRows/shards=16",
 }

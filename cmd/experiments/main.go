@@ -7,7 +7,7 @@
 //	experiments -fig 3 -scale 1 -repeats 10  # Figure 3 at full paper scale
 //	experiments -fig 5,6,7                   # a subset
 //
-// Figure ids: 1, 2, 3, 4, 5, 6, 7, 8a, 8b, outliers.
+// Figure ids: 1, 2, 3, 4, 5, 6, 7, 8a, 8b, outliers, noisy, styles, subspace.
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "comma-separated figure ids (1,2,3,4,5,6,7,8a,8b,outliers,noisy) or 'all'")
+		fig     = flag.String("fig", "all", "comma-separated figure ids (1,2,3,4,5,6,7,8a,8b,outliers,noisy,styles,subspace) or 'all'")
 		repeats = flag.Int("repeats", 3, "repeated runs per configuration (paper: 10)")
 		scale   = flag.Float64("scale", 0.4, "dataset size scale (1.0 = paper)")
 		seed    = flag.Int64("seed", 1, "master random seed")
@@ -50,6 +50,8 @@ func main() {
 		{"8a", func() (*experiments.Table, error) { return experiments.Figure8a(cfg) }},
 		{"8b", func() (*experiments.Table, error) { return experiments.Figure8b(cfg) }},
 		{"noisy", func() (*experiments.Table, error) { return experiments.NoisyInputs(cfg) }},
+		{"styles", func() (*experiments.Table, error) { return experiments.SupervisionStyles(cfg) }},
+		{"subspace", func() (*experiments.Table, error) { return experiments.SubspaceBaselines(cfg) }},
 	}
 
 	want := map[string]bool{}

@@ -1,5 +1,6 @@
 // Command sspc clusters a CSV dataset with SSPC or one of the baseline
-// algorithms (PROCLUS, HARP, CLARANS, DOC).
+// algorithms (PROCLUS, HARP, CLARANS, DOC, CLIQUE, COP-KMeans,
+// Seeded-/Constrained-KMeans, Cheng–Church biclustering).
 //
 // Usage:
 //
@@ -8,11 +9,20 @@
 //	sspc -in data.csv -k 5 -algo proclus -l 10
 //	sspc -in labeled.csv -k 5 -truth                  # last column = label, report ARI
 //	sspc -in data.csv -k 5 -knowledge kn.txt          # semi-supervised
+//	sspc -in data.csv -k 3 -algo copkmeans -constraints pairs.txt
+//	sspc -in data.csv -k 3 -algo seedkmeans -seeds seeds.txt -constrained
+//	sspc -in data.csv -k 3 -algo bicluster -delta 50
 //
 // The knowledge file has one entry per line:
 //
 //	object <objectIndex> <class>
 //	dim <dimIndex> <class>
+//
+// The constraints file has one pair per line ("must <i> <j>" or
+// "cannot <i> <j>"), and the seeds file one class per line
+// ("<class> <obj> [<obj> ...]"). All three supervision flags can be mixed;
+// they merge into one supervision set that each algorithm consumes in its
+// own form (labels, pairwise constraints, or seed sets).
 //
 // Output: one line per object "<index> <cluster>" (−1 = outlier), followed
 // by the selected dimensions of each cluster and summary statistics.
@@ -25,38 +35,48 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/bicluster"
 	"repro/internal/clarans"
+	"repro/internal/clique"
 	"repro/internal/cluster"
+	"repro/internal/copkmeans"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/doc"
 	"repro/internal/eval"
 	"repro/internal/harp"
 	"repro/internal/proclus"
+	"repro/internal/seedkmeans"
 )
 
 func main() {
 	var (
-		in        = flag.String("in", "", "input CSV path (required)")
-		header    = flag.Bool("header", false, "input has a header row")
-		truth     = flag.Bool("truth", false, "last CSV column is the true class label; report ARI")
-		algo      = flag.String("algo", "sspc", "algorithm: sspc | proclus | harp | clarans | doc")
-		k         = flag.Int("k", 0, "number of clusters (required)")
-		scheme    = flag.String("scheme", "m", "SSPC threshold scheme: m | p")
-		m         = flag.Float64("m", 0.5, "SSPC parameter m (scheme m)")
-		p         = flag.Float64("p", 0.1, "SSPC parameter p (scheme p)")
-		l         = flag.Int("l", 0, "PROCLUS average cluster dimensionality (required for proclus)")
-		w         = flag.Float64("w", 0, "DOC box half-width (required for doc)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		restarts  = flag.Int("restarts", 0, "independent randomized restarts; best result by the algorithm's objective wins. 0 = algorithm default (1; clarans: numlocal 2)")
-		workers   = flag.Int("workers", 0, "concurrent restarts (spare workers parallelize each algorithm's chunked loops inside a restart); 0 = all CPUs. Never changes the result, only the wall-clock time")
-		earlyStop = flag.Int("earlystop", 0, "sspc/proclus/doc: stop streaming restarts once the objective has not improved for this many consecutive restarts; -restarts stays the cap. 0 = run all restarts")
-		chunk     = flag.Int("chunk", 0, "objects (harp: nodes) per intra-restart chunk; 0 = algorithm default. Any value gives identical output")
-		shards    = flag.Int("shards", 0, "re-back the dataset as this many contiguous row-range shards, each with its own backing memory; row-scanning chunked loops then align one chunk per shard. 0 = flat storage. Any value gives identical output")
-		knowledge = flag.String("knowledge", "", "knowledge file for SSPC (object/dim labels)")
-		normalize = flag.String("normalize", "none", "preprocessing: none | zscore | minmax | robust")
-		validate  = flag.Bool("validate", false, "validate knowledge and drop suspect entries before clustering (SSPC only)")
-		quiet     = flag.Bool("quiet", false, "suppress per-object assignments")
+		in          = flag.String("in", "", "input CSV path (required)")
+		header      = flag.Bool("header", false, "input has a header row")
+		truth       = flag.Bool("truth", false, "last CSV column is the true class label; report ARI")
+		algo        = flag.String("algo", "sspc", "algorithm: sspc | proclus | harp | clarans | doc | clique | copkmeans | seedkmeans | bicluster")
+		k           = flag.Int("k", 0, "number of clusters (required)")
+		scheme      = flag.String("scheme", "m", "SSPC threshold scheme: m | p")
+		m           = flag.Float64("m", 0.5, "SSPC parameter m (scheme m)")
+		p           = flag.Float64("p", 0.1, "SSPC parameter p (scheme p)")
+		l           = flag.Int("l", 0, "PROCLUS average cluster dimensionality (required for proclus)")
+		w           = flag.Float64("w", 0, "DOC box half-width (required for doc)")
+		xi          = flag.Int("xi", 0, "CLIQUE grid intervals per dimension; 0 = default")
+		tau         = flag.Float64("tau", 0, "CLIQUE density threshold fraction; 0 = default")
+		delta       = flag.Float64("delta", 0, "bicluster mean-squared-residue threshold δ")
+		seed        = flag.Int64("seed", 1, "random seed")
+		restarts    = flag.Int("restarts", 0, "independent randomized restarts; best result by the algorithm's objective wins. 0 = algorithm default (1; clarans: numlocal 2)")
+		workers     = flag.Int("workers", 0, "concurrent restarts (spare workers parallelize each algorithm's chunked loops inside a restart); 0 = all CPUs. Never changes the result, only the wall-clock time")
+		earlyStop   = flag.Int("earlystop", 0, "sspc/proclus/doc: stop streaming restarts once the objective has not improved for this many consecutive restarts; -restarts stays the cap. 0 = run all restarts")
+		chunk       = flag.Int("chunk", 0, "objects (harp: nodes) per intra-restart chunk; 0 = algorithm default. Any value gives identical output")
+		shards      = flag.Int("shards", 0, "re-back the dataset as this many contiguous row-range shards, each with its own backing memory; row-scanning chunked loops then align one chunk per shard. 0 = flat storage. Any value gives identical output")
+		knowledge   = flag.String("knowledge", "", "knowledge file (object/dim labels): sspc, seedkmeans, copkmeans")
+		constraints = flag.String("constraints", "", "constraints file (must/cannot pairs): copkmeans, sspc, seedkmeans")
+		seeds       = flag.String("seeds", "", "seed-set file (class + objects per line): seedkmeans, sspc, copkmeans")
+		constrained = flag.Bool("constrained", false, "seedkmeans: clamp labeled objects to their class (Constrained-KMeans)")
+		normalize   = flag.String("normalize", "none", "preprocessing: none | zscore | minmax | robust")
+		validate    = flag.Bool("validate", false, "validate knowledge and drop suspect entries before clustering (SSPC only)")
+		quiet       = flag.Bool("quiet", false, "suppress per-object assignments")
 	)
 	flag.Parse()
 
@@ -120,6 +140,36 @@ func main() {
 		ds = sd.Dataset()
 	}
 
+	// Merge every supplied supervision source into one Supervision value;
+	// each algorithm below converts it to the form it consumes.
+	sup := &core.Supervision{}
+	if *knowledge != "" {
+		kn, err := readKnowledge(*knowledge)
+		if err != nil {
+			fail(err)
+		}
+		sup.Knowledge = kn
+	}
+	if *constraints != "" {
+		must, cannot, err := readConstraints(*constraints)
+		if err != nil {
+			fail(err)
+		}
+		sup.MustLink, sup.CannotLink = must, cannot
+	}
+	if *seeds != "" {
+		sets, err := readSeedSets(*seeds)
+		if err != nil {
+			fail(err)
+		}
+		sup.SeedSets = sets
+	}
+	if !sup.Empty() {
+		if err := sup.Validate(ds.N(), ds.D(), *k); err != nil {
+			fail(err)
+		}
+	}
+
 	var res *cluster.Result
 	var report *core.KnowledgeReport
 	switch *algo {
@@ -136,8 +186,8 @@ func main() {
 		opts.Workers = *workers
 		opts.EarlyStop = *earlyStop
 		opts.ChunkSize = *chunk
-		if *knowledge != "" {
-			kn, err := readKnowledge(*knowledge)
+		if !sup.Empty() {
+			kn, err := sup.AsKnowledge()
 			if err != nil {
 				fail(err)
 			}
@@ -191,6 +241,52 @@ func main() {
 		opts.EarlyStop = *earlyStop
 		opts.ChunkSize = *chunk
 		res, err = doc.Run(ds, opts)
+	case "clique":
+		opts := clique.DefaultOptions()
+		if *xi > 0 {
+			opts.Xi = *xi
+		}
+		if *tau > 0 {
+			opts.Tau = *tau
+		}
+		opts.MaxClusters = *k
+		opts.Seed = *seed
+		opts.Restarts = *restarts
+		opts.Workers = *workers
+		opts.ChunkSize = *chunk
+		_, res, err = clique.Run(ds, opts)
+	case "copkmeans":
+		must, cannot, cerr := sup.AsConstraints()
+		if cerr != nil {
+			fail(cerr)
+		}
+		opts := copkmeans.DefaultOptions(*k)
+		opts.Seed = *seed
+		opts.Restarts = *restarts
+		opts.Workers = *workers
+		opts.EarlyStop = *earlyStop
+		opts.ChunkSize = *chunk
+		res, err = copkmeans.Run(ds, &copkmeans.Constraints{MustLink: must, CannotLink: cannot}, opts)
+	case "seedkmeans":
+		kn, kerr := sup.AsKnowledge()
+		if kerr != nil {
+			fail(kerr)
+		}
+		opts := seedkmeans.DefaultOptions(*k)
+		opts.Constrained = *constrained
+		opts.Seed = *seed
+		opts.Restarts = *restarts
+		opts.Workers = *workers
+		opts.EarlyStop = *earlyStop
+		opts.ChunkSize = *chunk
+		res, err = seedkmeans.Run(ds, kn, opts)
+	case "bicluster":
+		opts := bicluster.DefaultOptions(*k, *delta)
+		opts.Seed = *seed
+		opts.Restarts = *restarts
+		opts.Workers = *workers
+		opts.ChunkSize = *chunk
+		_, res, err = bicluster.Run(ds, opts)
 	default:
 		fail(fmt.Errorf("unknown algorithm %q", *algo))
 	}
@@ -260,6 +356,34 @@ func readKnowledge(path string) (*dataset.Knowledge, error) {
 		}
 	}
 	return kn, sc.Err()
+}
+
+// readConstraints loads a must/cannot pair file via core.ParseConstraints.
+func readConstraints(path string) (must, cannot [][2]int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	must, cannot, err = core.ParseConstraints(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return must, cannot, nil
+}
+
+// readSeedSets loads a seed-set file via core.ParseSeedSets.
+func readSeedSets(path string) (map[int][]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sets, err := core.ParseSeedSets(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sets, nil
 }
 
 func fail(err error) {

@@ -61,3 +61,76 @@ func TestReadKnowledgeMissingFile(t *testing.T) {
 		t.Error("missing file should error")
 	}
 }
+
+func TestReadConstraintsParsesPairs(t *testing.T) {
+	path := writeTemp(t, `
+# pairwise supervision
+must 0 1
+must 5 6
+cannot 0 5
+`)
+	must, cannot, err := readConstraints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(must) != 2 || must[0] != [2]int{0, 1} || must[1] != [2]int{5, 6} {
+		t.Errorf("must = %v", must)
+	}
+	if len(cannot) != 1 || cannot[0] != [2]int{0, 5} {
+		t.Errorf("cannot = %v", cannot)
+	}
+}
+
+func TestReadConstraintsRejectsBadLines(t *testing.T) {
+	for _, bad := range []string{
+		"must one 2\n",
+		"must 1\n",
+		"maybe 1 2\n",
+		"must 3 3\n",
+	} {
+		path := writeTemp(t, bad)
+		if _, _, err := readConstraints(path); err == nil {
+			t.Errorf("line %q should fail to parse", bad)
+		}
+	}
+	if _, _, err := readConstraints("/nonexistent/cons.txt"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestReadSeedSetsParsesSets(t *testing.T) {
+	path := writeTemp(t, `
+# class, then its seed objects
+0 3 5 7
+1 2
+`)
+	sets, err := readSeedSets(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("sets = %v", sets)
+	}
+	if got := sets[0]; len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 7 {
+		t.Errorf("class 0 seeds = %v", got)
+	}
+	if got := sets[1]; len(got) != 1 || got[0] != 2 {
+		t.Errorf("class 1 seeds = %v", got)
+	}
+}
+
+func TestReadSeedSetsRejectsBadLines(t *testing.T) {
+	for _, bad := range []string{
+		"0\n",       // class with no objects
+		"a 1 2\n",   // non-numeric class
+		"0 1 two\n", // non-numeric object
+	} {
+		path := writeTemp(t, bad)
+		if _, err := readSeedSets(path); err == nil {
+			t.Errorf("line %q should fail to parse", bad)
+		}
+	}
+	if _, err := readSeedSets("/nonexistent/seeds.txt"); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -7,10 +7,12 @@ import (
 )
 
 // The cross-algorithm determinism conformance suite: one table of drivers,
-// one assertion per contract leg, applied uniformly to all five algorithms
-// (SSPC, PROCLUS, CLARANS, DOC, HARP). It replaces the near-duplicate
-// per-package parallel_test.go copies — a new parallel path inherits its
-// safety net by adding a row here, not by re-inventing the tests.
+// one assertion per contract leg, applied uniformly to all nine algorithms
+// (SSPC, PROCLUS, CLARANS, DOC, HARP, CLIQUE, COP-KMeans,
+// Seeded-/Constrained-KMeans, Cheng–Church biclustering). It replaces the
+// near-duplicate per-package parallel_test.go copies — a new parallel path
+// inherits its safety net by adding a row here, not by re-inventing the
+// tests.
 //
 // The legs (see ARCHITECTURE.md, "The determinism contract"):
 //
@@ -122,6 +124,71 @@ func conformanceAlgos() []confAlgo {
 				opts.Workers = r.workers
 				opts.ChunkSize = r.chunkSize
 				return HARP(ds, opts)
+			},
+		},
+		// The four PR-7 promotions. Their pins were captured from the
+		// single-restart serial output at the promoting commit (the sketches
+		// had no Restarts/Workers/ChunkSize knobs before it, so these are the
+		// first authoritative fingerprints).
+		{
+			name: "CLIQUE", golden: "916a99526552861a score=596",
+			goldenSeed: 13, restarts: 2,
+			run: func(ds *Dataset, r confRun) (*Result, error) {
+				opts := CLIQUEDefaults()
+				opts.Tau = 0.08
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				_, res, err := CLIQUE(ds, opts)
+				return res, err
+			},
+		},
+		{
+			name: "COP-KMeans", golden: "3d49343df0baeeb1 score=4097789.85913",
+			goldenSeed: 15, restarts: 4, earlyStop: true,
+			run: func(ds *Dataset, r confRun) (*Result, error) {
+				// Fixed index-only constraints: identical for the flat and
+				// sharded fixture copies, feasible under K = 3.
+				cons := &Constraints{
+					MustLink:   [][2]int{{0, 1}, {5, 6}},
+					CannotLink: [][2]int{{0, 5}, {10, 20}},
+				}
+				opts := COPKMeansDefaults(3)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				opts.EarlyStop = r.earlyStop
+				return COPKMeans(ds, cons, opts)
+			},
+		},
+		{
+			name: "SeedKMeans", golden: "ef00a9fb889cc371 score=3992157.62679",
+			goldenSeed: 17, restarts: 4, earlyStop: true,
+			run: func(ds *Dataset, r confRun) (*Result, error) {
+				// No knowledge: every cluster starts from a random object, so
+				// the restarts genuinely differ and the restart legs bite.
+				opts := SeedKMeansDefaults(3)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				opts.EarlyStop = r.earlyStop
+				return SeedKMeans(ds, nil, opts)
+			},
+		},
+		{
+			name: "Bicluster", golden: "9d24ebabeefb658d score=31.7221345615",
+			goldenSeed: 19, restarts: 3,
+			run: func(ds *Dataset, r confRun) (*Result, error) {
+				opts := BiclusterDefaults(3, 50)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				_, res, err := Biclusters(ds, opts)
+				return res, err
 			},
 		},
 	}

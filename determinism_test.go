@@ -108,8 +108,35 @@ func TestSeedsProduceDifferentClusterings(t *testing.T) {
 			return HARP(noisy.Data, opts)
 		})
 	})
+	t.Run("COPKMeans", func(t *testing.T) {
+		assertDiffer(t, func(seed int64) (*Result, error) {
+			opts := COPKMeansDefaults(3)
+			opts.Seed = seed
+			return COPKMeans(gt.Data, &Constraints{}, opts)
+		})
+	})
+	t.Run("SeedKMeans", func(t *testing.T) {
+		// No knowledge: all three centroids start from random objects.
+		assertDiffer(t, func(seed int64) (*Result, error) {
+			opts := SeedKMeansDefaults(3)
+			opts.Seed = seed
+			return SeedKMeans(gt.Data, nil, opts)
+		})
+	})
+	t.Run("Bicluster", func(t *testing.T) {
+		// The mask drawn after the first bicluster steers the second search,
+		// so K >= 2 makes the seed decisive.
+		assertDiffer(t, func(seed int64) (*Result, error) {
+			opts := BiclusterDefaults(2, 10)
+			opts.Seed = seed
+			_, res, err := Biclusters(noisy.Data, opts)
+			return res, err
+		})
+	})
+	// CLIQUE is deliberately absent: it is fully deterministic, and its
+	// seed-indifference is pinned by TestGoldenPin in internal/clique.
 }
 
-// The shared-dataset race probe (all five algorithms concurrently on one
+// The shared-dataset race probe (all nine algorithms concurrently on one
 // *Dataset) lives in the conformance suite:
 // TestConformanceConcurrentSharedDataset.

@@ -8,13 +8,27 @@
 // is at most δ — rows and columns that move coherently. Biclusters are
 // found one at a time by multiple node deletion followed by node addition;
 // found biclusters are masked with random values before the next search.
+//
+// The randomized restarts (masking draws fresh random values, so searches
+// after the first bicluster diverge between restarts) run through the
+// shared restart engine, and the hot loop — the residue computation that
+// node deletion re-evaluates at every step — is chunked over the bicluster's
+// row and column lists, under the repository-wide determinism contract:
+// results are a pure function of (dataset, options) for every
+// Workers/ChunkSize value. Run also flattens the biclusters into the
+// repository's shared disjoint-partition Result (rows → clusters, columns →
+// selected dimensions, mean H as the lower-is-better score).
 package bicluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -30,6 +44,30 @@ type Options struct {
 	// MinRows and MinCols stop deletion from emptying the bicluster.
 	MinRows, MinCols int
 	Seed             int64
+
+	// Restarts is the number of independent randomized restarts (the
+	// masking values differ); the result with the lowest mean residue is
+	// returned (ties keep the lowest restart index). <= 0 means 1. Restart
+	// r derives its RNG from engine.ChildSeed(Seed, r), so restart 0
+	// reproduces the single-run output. With K = 1 no masking happens and
+	// every restart is identical.
+	Restarts int
+
+	// Workers bounds the total worker budget: restarts run concurrently on
+	// up to this many goroutines, and workers left over parallelize the
+	// chunked residue scans inside each restart. <= 0 means
+	// runtime.GOMAXPROCS(0). The worker count never changes the result.
+	Workers int
+
+	// ChunkSize is the number of rows (resp. columns) per unit of work in
+	// the chunked residue scans. Chunk boundaries are fixed by this value
+	// alone, so any ChunkSize produces byte-identical output; it only tunes
+	// scheduling granularity. <= 0 means a default of 512. The chunk
+	// domains are the bicluster's shrinking row/column lists, not the
+	// dataset row range, so the chunk size is not shard-aligned (compare
+	// engine.AlignChunk); the search runs on a private dense copy anyway
+	// (masking must not touch the caller's dataset).
+	ChunkSize int
 }
 
 // DefaultOptions returns the paper's usual parameters.
@@ -44,17 +82,21 @@ type Bicluster struct {
 	H float64
 }
 
-// Run extracts K δ-biclusters. The input matrix is copied; masking does not
-// modify the caller's dataset.
-func Run(ds *dataset.Dataset, opts Options) ([]Bicluster, error) {
+// Run extracts K δ-biclusters and flattens them into the shared Result form:
+// each object joins the first discovered bicluster containing its row
+// (later ones lose the overlap), objects in no bicluster are outliers, each
+// cluster's Dims are its bicluster's columns, and Score is the mean residue
+// H across the K biclusters (lower is better). The input matrix is copied;
+// masking does not modify the caller's dataset.
+func Run(ds *dataset.Dataset, opts Options) ([]Bicluster, *cluster.Result, error) {
 	if ds == nil {
-		return nil, errors.New("bicluster: nil dataset")
+		return nil, nil, errors.New("bicluster: nil dataset")
 	}
 	if opts.K <= 0 {
-		return nil, fmt.Errorf("bicluster: K = %d", opts.K)
+		return nil, nil, fmt.Errorf("bicluster: K = %d", opts.K)
 	}
 	if opts.Delta < 0 {
-		return nil, fmt.Errorf("bicluster: Delta = %v", opts.Delta)
+		return nil, nil, fmt.Errorf("bicluster: Delta = %v", opts.Delta)
 	}
 	if opts.Alpha < 1 {
 		opts.Alpha = 1.2
@@ -65,25 +107,58 @@ func Run(ds *dataset.Dataset, opts Options) ([]Bicluster, error) {
 	if opts.MinCols < 2 {
 		opts.MinCols = 2
 	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = 512
+	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	d := ds.D()
+
+	// The masking range is a function of the dataset only; compute it once.
+	maskLo, maskHi := 0.0, 0.0
+	for j := 0; j < d; j++ {
+		if ds.ColMin(j) < maskLo {
+			maskLo = ds.ColMin(j)
+		}
+		if ds.ColMax(j) > maskHi {
+			maskHi = ds.ColMax(j)
+		}
+	}
+	if maskHi <= maskLo {
+		maskHi = maskLo + 1
+	}
+
+	type runOut struct {
+		bics []Bicluster
+		res  *cluster.Result
+	}
+	intra := engine.SplitBudget(opts.Workers, restarts)
+	outs, err := engine.Run(context.Background(), restarts, opts.Workers, opts.Seed,
+		func(_ int, rng *stats.RNG) (runOut, error) {
+			bics, res, err := runOnce(ds, opts, maskLo, maskHi, rng, intra)
+			return runOut{bics, res}, err
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	best := outs[engine.Best(outs, func(a, b runOut) bool {
+		return a.res.Score < b.res.Score
+	})]
+	return best.bics, best.res, nil
+}
+
+// runOnce is one restart: extract K biclusters from a private copy of the
+// matrix, masking each found bicluster with rng-drawn values.
+func runOnce(ds *dataset.Dataset, opts Options, maskLo, maskHi float64,
+	rng *stats.RNG, workers int) ([]Bicluster, *cluster.Result, error) {
 	n, d := ds.N(), ds.D()
-	rng := stats.NewRNG(opts.Seed)
 
 	// Working copy for masking.
 	a := make([][]float64, n)
-	lo, hi := 0.0, 0.0
 	for i := 0; i < n; i++ {
 		a[i] = append([]float64(nil), ds.Row(i)...)
-	}
-	for j := 0; j < d; j++ {
-		if ds.ColMin(j) < lo {
-			lo = ds.ColMin(j)
-		}
-		if ds.ColMax(j) > hi {
-			hi = ds.ColMax(j)
-		}
-	}
-	if hi <= lo {
-		hi = lo + 1
 	}
 
 	var out []Bicluster
@@ -97,7 +172,7 @@ func Run(ds *dataset.Dataset, opts Options) ([]Bicluster, error) {
 		const bulkThreshold = 100
 		for (len(rows) > bulkThreshold || len(cols) > bulkThreshold) &&
 			(len(rows) > opts.MinRows && len(cols) > opts.MinCols) {
-			h, rowRes, colRes := residues(a, rows, cols)
+			h, rowRes, colRes := residuesChunked(a, rows, cols, workers, opts.ChunkSize)
 			if h <= opts.Delta {
 				break
 			}
@@ -129,7 +204,7 @@ func Run(ds *dataset.Dataset, opts Options) ([]Bicluster, error) {
 		// Phase 2 — single node deletion (Algorithm 1): repeatedly remove
 		// the one row or column with the largest residue until H <= δ.
 		for len(rows) > opts.MinRows || len(cols) > opts.MinCols {
-			h, rowRes, colRes := residues(a, rows, cols)
+			h, rowRes, colRes := residuesChunked(a, rows, cols, workers, opts.ChunkSize)
 			if h <= opts.Delta {
 				break
 			}
@@ -168,9 +243,9 @@ func Run(ds *dataset.Dataset, opts Options) ([]Bicluster, error) {
 
 		// Node addition: add back columns then rows whose residue does not
 		// exceed the current H.
-		h, _, _ := residues(a, rows, cols)
+		h, _, _ := residuesChunked(a, rows, cols, workers, opts.ChunkSize)
 		rows, cols = addNodes(a, rows, cols, h, n, d)
-		h, _, _ = residues(a, rows, cols)
+		h, _, _ = residuesChunked(a, rows, cols, workers, opts.ChunkSize)
 
 		out = append(out, Bicluster{
 			Rows: append([]int(nil), rows...),
@@ -182,29 +257,89 @@ func Run(ds *dataset.Dataset, opts Options) ([]Bicluster, error) {
 		// finds something else.
 		for _, i := range rows {
 			for _, j := range cols {
-				a[i][j] = rng.Uniform(lo, hi)
+				a[i][j] = rng.Uniform(maskLo, maskHi)
 			}
 		}
 	}
-	return out, nil
+	res, err := flatten(out, n, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, res, nil
+}
+
+// flatten maps biclusters onto the shared disjoint-partition Result.
+func flatten(bics []Bicluster, n, d int) (*cluster.Result, error) {
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = cluster.Outlier
+	}
+	dims := make([][]int, len(bics))
+	total := 0.0
+	for c, b := range bics {
+		dims[c] = append([]int(nil), b.Cols...)
+		sort.Ints(dims[c])
+		for _, i := range b.Rows {
+			if assign[i] == cluster.Outlier {
+				assign[i] = c
+			}
+		}
+		total += b.H
+	}
+	res := &cluster.Result{
+		K:                   len(bics),
+		Assignments:         assign,
+		Dims:                dims,
+		Score:               total / float64(len(bics)),
+		ScoreHigherIsBetter: false,
+	}
+	if err := res.Validate(n, d); err != nil {
+		return nil, fmt.Errorf("bicluster: internal result invalid: %w", err)
+	}
+	return res, nil
 }
 
 // residues computes H(I,J) and the per-row / per-column mean squared
-// residues d(i) and d(j).
+// residues d(i) and d(j), serially. It is the reference the chunked version
+// must reproduce bit for bit.
 func residues(a [][]float64, rows, cols []int) (h float64, rowRes, colRes []float64) {
+	return residuesChunked(a, rows, cols, 1, 0)
+}
+
+// residuesChunked is the node-deletion scoring hot loop. Every per-row
+// statistic scans its row serially in ascending column order and every
+// per-column statistic scans its column serially in ascending row order, so
+// each entry of rowSum/colSum/rowRes/colRes is a fixed addition sequence —
+// independent of Workers and ChunkSize — and the cross-row folds (the grand
+// total and H) run serially in ascending index order. The four scans chunk
+// over the row list (resp. column list) with disjoint writes.
+func residuesChunked(a [][]float64, rows, cols []int, workers, chunkSize int) (h float64, rowRes, colRes []float64) {
 	nr, nc := len(rows), len(cols)
 	rowMean := make([]float64, nr)
 	colMean := make([]float64, nc)
-	total := 0.0
-	for ti, i := range rows {
-		for tj, j := range cols {
-			v := a[i][j]
-			rowMean[ti] += v
-			colMean[tj] += v
-			total += v
+	engine.ParallelChunks(nr, chunkSize, workers, func(_, lo, hi int) {
+		for ti := lo; ti < hi; ti++ {
+			sum := 0.0
+			ai := a[rows[ti]]
+			for _, j := range cols {
+				sum += ai[j]
+			}
+			rowMean[ti] = sum
 		}
-	}
+	})
+	engine.ParallelChunks(nc, chunkSize, workers, func(_, lo, hi int) {
+		for tj := lo; tj < hi; tj++ {
+			sum := 0.0
+			j := cols[tj]
+			for _, i := range rows {
+				sum += a[i][j]
+			}
+			colMean[tj] = sum
+		}
+	})
+	total := 0.0
 	for ti := range rowMean {
+		total += rowMean[ti]
 		rowMean[ti] /= float64(nc)
 	}
 	for tj := range colMean {
@@ -214,19 +349,33 @@ func residues(a [][]float64, rows, cols []int) (h float64, rowRes, colRes []floa
 
 	rowRes = make([]float64, nr)
 	colRes = make([]float64, nc)
-	for ti, i := range rows {
-		for tj, j := range cols {
-			r := a[i][j] - rowMean[ti] - colMean[tj] + grand
-			r2 := r * r
-			h += r2
-			rowRes[ti] += r2
-			colRes[tj] += r2
+	engine.ParallelChunks(nr, chunkSize, workers, func(_, lo, hi int) {
+		for ti := lo; ti < hi; ti++ {
+			sum := 0.0
+			ai := a[rows[ti]]
+			for tj, j := range cols {
+				r := ai[j] - rowMean[ti] - colMean[tj] + grand
+				sum += r * r
+			}
+			rowRes[ti] = sum
 		}
-	}
-	h /= float64(nr * nc)
+	})
+	engine.ParallelChunks(nc, chunkSize, workers, func(_, lo, hi int) {
+		for tj := lo; tj < hi; tj++ {
+			sum := 0.0
+			j := cols[tj]
+			for ti, i := range rows {
+				r := a[i][j] - rowMean[ti] - colMean[tj] + grand
+				sum += r * r
+			}
+			colRes[tj] = sum
+		}
+	})
 	for ti := range rowRes {
+		h += rowRes[ti]
 		rowRes[ti] /= float64(nc)
 	}
+	h /= float64(nr * nc)
 	for tj := range colRes {
 		colRes[tj] /= float64(nr)
 	}

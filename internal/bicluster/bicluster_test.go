@@ -41,13 +41,13 @@ func plantBicluster(n, d int, rows, cols []int, noise float64, seed int64) *data
 
 func TestRunValidation(t *testing.T) {
 	ds, _ := dataset.FromRows([][]float64{{1, 2}, {3, 4}})
-	if _, err := Run(nil, DefaultOptions(1, 10)); err == nil {
+	if _, _, err := Run(nil, DefaultOptions(1, 10)); err == nil {
 		t.Error("nil dataset should error")
 	}
-	if _, err := Run(ds, DefaultOptions(0, 10)); err == nil {
+	if _, _, err := Run(ds, DefaultOptions(0, 10)); err == nil {
 		t.Error("K=0 should error")
 	}
-	if _, err := Run(ds, DefaultOptions(1, -1)); err == nil {
+	if _, _, err := Run(ds, DefaultOptions(1, -1)); err == nil {
 		t.Error("negative delta should error")
 	}
 }
@@ -90,12 +90,22 @@ func TestRecoversPlantedBicluster(t *testing.T) {
 	rows := []int{3, 7, 11, 15, 19, 23, 27, 31, 35, 39}
 	cols := []int{2, 5, 8, 11, 14, 17}
 	ds := plantBicluster(60, 25, rows, cols, 0.2, 1)
-	found, err := Run(ds, DefaultOptions(1, 2.0))
+	found, res, err := Run(ds, DefaultOptions(1, 2.0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(found) != 1 {
 		t.Fatalf("found %d biclusters", len(found))
+	}
+	if err := res.Validate(ds.N(), ds.D()); err != nil {
+		t.Fatalf("flattened result invalid: %v", err)
+	}
+	if res.K != 1 || res.ScoreHigherIsBetter {
+		t.Errorf("flattened result K=%d higher=%v, want K=1 lower-is-better",
+			res.K, res.ScoreHigherIsBetter)
+	}
+	if res.Score != found[0].H {
+		t.Errorf("flattened score %v != mean H %v", res.Score, found[0].H)
 	}
 	b := found[0]
 	if b.H > 2.0 {
@@ -142,7 +152,7 @@ func TestMultipleBiclustersViaMasking(t *testing.T) {
 			ds.Set(i, j, base+float64(j)+rng.Norm(0, 0.2))
 		}
 	}
-	found, err := Run(ds, DefaultOptions(2, 2.0))
+	found, _, err := Run(ds, DefaultOptions(2, 2.0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +180,7 @@ func TestMultipleBiclustersViaMasking(t *testing.T) {
 func TestDeltaZeroStopsAtMinSize(t *testing.T) {
 	// δ = 0 on noisy data: deletion runs to the floor without panicking.
 	ds := plantBicluster(30, 10, nil, nil, 0, 4)
-	found, err := Run(ds, DefaultOptions(1, 0))
+	found, _, err := Run(ds, DefaultOptions(1, 0))
 	if err != nil {
 		t.Fatal(err)
 	}

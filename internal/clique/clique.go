@@ -10,15 +10,25 @@
 // clusters in different subspaces; Run flattens the result into the
 // repository's shared disjoint-partition form by greedily assigning each
 // object to the highest-dimensional cluster that covers it.
+//
+// CLIQUE draws no random numbers — the grid search is fully deterministic —
+// but it runs through the shared restart engine like every other algorithm
+// so the engine knobs (Restarts, Workers, ChunkSize) and the conformance
+// contract apply uniformly: every restart returns the identical result, and
+// the intra-restart worker budget parallelizes the per-object cell scan and
+// the per-dimension density scan.
 package clique
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/stats"
 )
 
 // Options configures CLIQUE.
@@ -33,6 +43,31 @@ type Options struct {
 	MaxSubspaceDim int
 	// MaxClusters bounds how many clusters Run reports (0 = all).
 	MaxClusters int
+
+	// Seed is accepted for engine uniformity. CLIQUE makes no random
+	// choices, so the seed never changes the result.
+	Seed int64
+
+	// Restarts runs the (deterministic) search that many times through the
+	// restart engine; every restart returns the identical result and the
+	// reduction keeps restart 0. <= 0 means 1. The knob exists so CLIQUE
+	// obeys the same engine contract as the randomized algorithms.
+	Restarts int
+
+	// Workers bounds the total worker budget: restarts run concurrently on
+	// up to this many goroutines, and workers left over parallelize the
+	// per-object cell scan and the per-dimension density scan inside each
+	// restart. <= 0 means runtime.GOMAXPROCS(0). The worker count never
+	// changes the result.
+	Workers int
+
+	// ChunkSize is the number of objects per unit of work in the chunked
+	// cell scan (shard-aligned on a shard-backed dataset via
+	// engine.AlignChunk) and the number of dimensions per unit of work in
+	// the 1-D density scan (never shard-aligned: its domain is the
+	// dimension list). Chunk boundaries are fixed by this value alone, so
+	// any ChunkSize produces byte-identical output. <= 0 means 512.
+	ChunkSize int
 }
 
 // DefaultOptions returns a workable configuration for normalized data.
@@ -73,13 +108,51 @@ func Run(ds *dataset.Dataset, opts Options) ([]Subspace, *cluster.Result, error)
 	if opts.Tau <= 0 || opts.Tau >= 1 {
 		return nil, nil, fmt.Errorf("clique: Tau = %v out of (0,1)", opts.Tau)
 	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = 512
+	}
+
+	// The search is deterministic, so every restart computes the identical
+	// answer; engine.Run still hosts them so Workers/Restarts behave exactly
+	// as everywhere else, and the reduction (ties keep the lowest index)
+	// always returns restart 0's result.
+	type runOut struct {
+		subs []Subspace
+		res  *cluster.Result
+	}
+	intra := engine.SplitBudget(opts.Workers, restarts)
+	outs, err := engine.Run(context.Background(), restarts, opts.Workers, opts.Seed,
+		func(_ int, _ *stats.RNG) (runOut, error) {
+			subs, res, err := runOnce(ds, opts, intra)
+			return runOut{subs, res}, err
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	best := outs[engine.Best(outs, func(a, b runOut) bool {
+		return a.res.Score > b.res.Score
+	})]
+	return best.subs, best.res, nil
+}
+
+// runOnce is one (deterministic) CLIQUE search with `workers` goroutines
+// available for its chunked scans.
+func runOnce(ds *dataset.Dataset, opts Options, workers int) ([]Subspace, *cluster.Result, error) {
 	n, d := ds.N(), ds.D()
 	minDense := int(opts.Tau * float64(n))
 	if minDense < 1 {
 		minDense = 1
 	}
 
-	// Precompute each object's interval index on every dimension.
+	// Precompute each object's interval index on every dimension — the
+	// per-object cell scan, chunked over fixed row ranges with disjoint
+	// writes into each row's slice of the flat backing array. On a
+	// shard-backed dataset the chunk size aligns to the shard row count.
+	cells := make([]int, n*d)
 	cellOf := make([][]int, n)
 	width := make([]float64, d)
 	lo := make([]float64, d)
@@ -91,37 +164,55 @@ func Run(ds *dataset.Dataset, opts Options) ([]Subspace, *cluster.Result, error)
 		}
 		width[j] = (hi - lo[j]) / float64(opts.Xi)
 	}
-	for i := 0; i < n; i++ {
-		cellOf[i] = make([]int, d)
-		row := ds.Row(i)
-		for j := 0; j < d; j++ {
-			c := int((row[j] - lo[j]) / width[j])
-			if c >= opts.Xi {
-				c = opts.Xi - 1
+	rowChunk := engine.AlignChunk(opts.ChunkSize, ds.ShardRows())
+	engine.ParallelChunks(n, rowChunk, workers, func(_, rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			cellOf[i] = cells[i*d : (i+1)*d : (i+1)*d]
+			row := ds.Row(i)
+			for j := 0; j < d; j++ {
+				c := int((row[j] - lo[j]) / width[j])
+				if c >= opts.Xi {
+					c = opts.Xi - 1
+				}
+				if c < 0 {
+					c = 0
+				}
+				cellOf[i][j] = c
 			}
-			if c < 0 {
-				c = 0
-			}
-			cellOf[i][j] = c
 		}
-	}
+	})
 
-	// Level 1: dense 1-D units.
+	// Level 1: dense 1-D units — the per-unit density scan, chunked over
+	// the dimension list (each dimension's member lists build serially in
+	// ascending object order, writes disjoint per dimension), then folded
+	// into the level maps in ascending dimension order.
+	type dimUnits struct {
+		units   []unit
+		members [][]int
+	}
+	perDim := make([]dimUnits, d)
+	engine.ParallelChunks(d, opts.ChunkSize, workers, func(_, jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			counts := make([][]int, opts.Xi)
+			for i := 0; i < n; i++ {
+				c := cellOf[i][j]
+				counts[c] = append(counts[c], i)
+			}
+			for c, members := range counts {
+				if len(members) >= minDense {
+					perDim[j].units = append(perDim[j].units, unit{dims: []int{j}, cells: []int{c}})
+					perDim[j].members = append(perDim[j].members, members)
+				}
+			}
+		}
+	})
 	type denseLevel map[string][]int // unit key -> member objects
 	level := denseLevel{}
 	units := map[string]unit{}
 	for j := 0; j < d; j++ {
-		counts := make([][]int, opts.Xi)
-		for i := 0; i < n; i++ {
-			c := cellOf[i][j]
-			counts[c] = append(counts[c], i)
-		}
-		for c, members := range counts {
-			if len(members) >= minDense {
-				u := unit{dims: []int{j}, cells: []int{c}}
-				level[u.key()] = members
-				units[u.key()] = u
-			}
+		for t, u := range perDim[j].units {
+			level[u.key()] = perDim[j].members[t]
+			units[u.key()] = u
 		}
 	}
 

@@ -8,14 +8,25 @@
 // It serves as the non-projected semi-supervised reference: constraints
 // alone cannot fix full-space distances on extremely low-dimensional
 // projected clusters, which is the gap SSPC fills.
+//
+// The randomized restarts (the initial random centers) run through the
+// shared restart engine, and the hot loop — the per-component distance
+// computation of the constrained assignment step — is chunked over the
+// must-link component list, under the repository-wide determinism contract:
+// results are a pure function of (dataset, constraints, options) for every
+// Workers/ChunkSize value. The feasibility-ordered placement itself stays
+// serial: it is sequential by definition (each component's choice depends
+// on where earlier components went).
 package copkmeans
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -59,6 +70,34 @@ type Options struct {
 	K             int
 	MaxIterations int
 	Seed          int64
+
+	// Restarts is the number of independent randomized restarts (fresh
+	// random initial centers); the result with the lowest cost is returned
+	// (ties keep the lowest restart index). <= 0 means 1. Restart r derives
+	// its RNG from engine.ChildSeed(Seed, r), so restart 0 reproduces the
+	// historical single-run output. A restart whose constraints prove
+	// infeasible fails the whole run, as any single run would.
+	Restarts int
+
+	// Workers bounds the total worker budget: restarts run concurrently on
+	// up to this many goroutines, and workers left over parallelize the
+	// chunked per-component distance pass inside each restart. <= 0 means
+	// runtime.GOMAXPROCS(0). The worker count never changes the result.
+	Workers int
+
+	// EarlyStop, when > 0, streams the restarts: they launch lazily and the
+	// run stops once the best cost has not improved for EarlyStop
+	// consecutive restarts (judged in restart-index order), with Restarts as
+	// the hard cap. 0 runs the fixed best-of-Restarts protocol.
+	EarlyStop int
+
+	// ChunkSize is the number of must-link components per unit of work in
+	// the chunked distance pass. Chunk boundaries are fixed by this value
+	// alone, so any ChunkSize produces byte-identical output; it only tunes
+	// scheduling granularity. <= 0 means a default of 512. The chunk domain
+	// is the component list, not the row range, so the chunk size is not
+	// shard-aligned (compare engine.AlignChunk).
+	ChunkSize int
 }
 
 // DefaultOptions returns a standard configuration.
@@ -68,29 +107,24 @@ func DefaultOptions(k int) Options { return Options{K: k, MaxIterations: 100} }
 // exists for some object.
 var ErrInfeasible = errors.New("copkmeans: constraints infeasible")
 
-// Run executes COP-KMeans with full-space Euclidean distance.
-func Run(ds *dataset.Dataset, cons *Constraints, opts Options) (*cluster.Result, error) {
-	if ds == nil {
-		return nil, errors.New("copkmeans: nil dataset")
-	}
-	n, d := ds.N(), ds.D()
-	if opts.K <= 0 || opts.K > n {
-		return nil, fmt.Errorf("copkmeans: K = %d out of range", opts.K)
-	}
-	if opts.MaxIterations <= 0 {
-		opts.MaxIterations = 100
-	}
-	if cons == nil {
-		cons = &Constraints{}
-	}
+// prep is the constraint structure shared read-only by every restart: the
+// must-link components (roots ascending, each member list ascending) and the
+// cannot-link set keyed by ordered root pairs.
+type prep struct {
+	root    []int   // object → component root
+	roots   []int   // component roots, ascending
+	members [][]int // members[t] = objects of component roots[t], ascending
+	cannot  map[[2]int]bool
+}
+
+// prepare builds the transitive closure of the must-links and validates the
+// constraints against the dataset shape.
+func prepare(n int, cons *Constraints) (*prep, error) {
 	for _, p := range append(append([][2]int{}, cons.MustLink...), cons.CannotLink...) {
 		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
 			return nil, fmt.Errorf("copkmeans: constraint pair %v out of range", p)
 		}
 	}
-
-	// Transitive closure of must-links via union-find; objects in one
-	// component always move together (assign by component).
 	parent := make([]int, n)
 	for i := range parent {
 		parent[i] = i
@@ -119,54 +153,128 @@ func Run(ds *dataset.Dataset, cons *Constraints, opts Options) (*cluster.Result,
 		}
 		cannot[[2]int{a, b}] = true
 	}
-
-	components := map[int][]int{}
+	p := &prep{root: make([]int, n), cannot: cannot}
+	byRoot := map[int][]int{}
 	for i := 0; i < n; i++ {
-		components[find(i)] = append(components[find(i)], i)
+		r := find(i)
+		p.root[i] = r
+		byRoot[r] = append(byRoot[r], i)
 	}
-	roots := make([]int, 0, len(components))
-	for r := range components {
-		roots = append(roots, r)
+	p.roots = make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		p.roots = append(p.roots, r)
 	}
-	for i := 1; i < len(roots); i++ {
-		for j := i; j > 0 && roots[j] < roots[j-1]; j-- {
-			roots[j], roots[j-1] = roots[j-1], roots[j]
+	for i := 1; i < len(p.roots); i++ {
+		for j := i; j > 0 && p.roots[j] < p.roots[j-1]; j-- {
+			p.roots[j], p.roots[j-1] = p.roots[j-1], p.roots[j]
 		}
 	}
+	p.members = make([][]int, len(p.roots))
+	compIdx := make(map[int]int, len(p.roots))
+	for t, r := range p.roots {
+		p.members[t] = byRoot[r]
+		compIdx[r] = t
+	}
+	// Re-point root[] at the component index so restarts index slices, not
+	// maps.
+	for i := 0; i < n; i++ {
+		p.root[i] = compIdx[p.root[i]]
+	}
+	return p, nil
+}
 
-	rng := stats.NewRNG(opts.Seed)
+// Run executes COP-KMeans with full-space Euclidean distance.
+func Run(ds *dataset.Dataset, cons *Constraints, opts Options) (*cluster.Result, error) {
+	if ds == nil {
+		return nil, errors.New("copkmeans: nil dataset")
+	}
+	n := ds.N()
+	if opts.K <= 0 || opts.K > n {
+		return nil, fmt.Errorf("copkmeans: K = %d out of range", opts.K)
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 100
+	}
+	if cons == nil {
+		cons = &Constraints{}
+	}
+	pre, err := prepare(n, cons)
+	if err != nil {
+		return nil, err
+	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = 512
+	}
+
+	intra := engine.SplitBudget(opts.Workers, restarts)
+	results, err := engine.Stream(context.Background(), restarts, opts.Workers, opts.Seed,
+		opts.EarlyStop, cluster.BetterResult,
+		func(_ int, rng *stats.RNG) (*cluster.Result, error) {
+			return runOnce(ds, pre, opts, rng, intra)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return cluster.BestResult(results), nil
+}
+
+// runOnce is one restart: random initial centers, then alternate the
+// constrained assignment (chunked distance pass + serial feasibility-ordered
+// placement) with the serial center update until the centers stop moving.
+func runOnce(ds *dataset.Dataset, pre *prep, opts Options, rng *stats.RNG, workers int) (*cluster.Result, error) {
+	n, d := ds.N(), ds.D()
 	centers := make([][]float64, opts.K)
 	for c, idx := range rng.Sample(n, opts.K) {
 		centers[c] = append([]float64(nil), ds.Row(idx)...)
 	}
 
 	assign := make([]int, n)
-	compAssign := make(map[int]int, len(components))
+	nc := len(pre.roots)
+	compAssign := make([]int, nc)
+	dists := make([]float64, nc*opts.K)
 	var cost float64
 	iterations := 0
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		iterations++
-		for r := range compAssign {
-			delete(compAssign, r)
+		// Distance pass: every (component, center) total, chunked over the
+		// component list with disjoint writes into dists. Each component's
+		// member sum runs serially in ascending member order, so the values
+		// are independent of Workers and ChunkSize.
+		engine.ParallelChunks(nc, opts.ChunkSize, workers, func(_, lo, hi int) {
+			for t := lo; t < hi; t++ {
+				members := pre.members[t]
+				for c := 0; c < opts.K; c++ {
+					total := 0.0
+					for _, i := range members {
+						total += distSq(ds.Row(i), centers[c])
+					}
+					dists[t*opts.K+c] = total
+				}
+			}
+		})
+		// Placement: components in ascending root order, nearest feasible
+		// center first. Serial by nature — feasibility depends on where
+		// earlier components were placed — and the cost accumulates in the
+		// same component order for every Workers/ChunkSize value.
+		for t := range compAssign {
+			compAssign[t] = -1
 		}
 		cost = 0
-		// Assign components in order, nearest feasible center first.
-		for _, r := range roots {
-			members := components[r]
+		for t := 0; t < nc; t++ {
 			type cand struct {
 				c    int
 				dist float64
 			}
 			cands := make([]cand, opts.K)
 			for c := 0; c < opts.K; c++ {
-				total := 0.0
-				for _, i := range members {
-					total += distSq(ds.Row(i), centers[c])
-				}
-				cands[c] = cand{c, total}
+				cands[c] = cand{c, dists[t*opts.K+c]}
 			}
-			// Sort candidates by distance.
+			// Sort candidates by distance (stable: ties keep center order).
 			for i := 1; i < len(cands); i++ {
 				for j := i; j > 0 && cands[j].dist < cands[j-1].dist; j-- {
 					cands[j], cands[j-1] = cands[j-1], cands[j]
@@ -174,19 +282,19 @@ func Run(ds *dataset.Dataset, cons *Constraints, opts Options) (*cluster.Result,
 			}
 			placed := false
 			for _, cd := range cands {
-				if feasible(r, cd.c, roots, compAssign, cannot) {
-					compAssign[r] = cd.c
+				if feasible(t, cd.c, pre, compAssign) {
+					compAssign[t] = cd.c
 					cost += cd.dist
 					placed = true
 					break
 				}
 			}
 			if !placed {
-				return nil, fmt.Errorf("%w: component %d has no feasible cluster", ErrInfeasible, r)
+				return nil, fmt.Errorf("%w: component %d has no feasible cluster", ErrInfeasible, pre.roots[t])
 			}
 		}
 		for i := 0; i < n; i++ {
-			assign[i] = compAssign[find(i)]
+			assign[i] = compAssign[pre.root[i]]
 		}
 
 		// Recompute centers; empty clusters keep their previous center.
@@ -234,23 +342,116 @@ func Run(ds *dataset.Dataset, cons *Constraints, opts Options) (*cluster.Result,
 	return res, nil
 }
 
-// feasible checks whether placing component r in cluster c violates any
+// feasible checks whether placing component t in cluster c violates any
 // cannot-link against already-placed components.
-func feasible(r, c int, roots []int, compAssign map[int]int, cannot map[[2]int]bool) bool {
-	for _, other := range roots {
-		oc, ok := compAssign[other]
-		if !ok || oc != c || other == r {
+func feasible(t, c int, pre *prep, compAssign []int) bool {
+	for o, oc := range compAssign {
+		if oc != c || o == t {
 			continue
 		}
-		a, b := r, other
+		a, b := pre.roots[t], pre.roots[o]
 		if a > b {
 			a, b = b, a
 		}
-		if cannot[[2]int{a, b}] {
+		if pre.cannot[[2]int{a, b}] {
 			return false
 		}
 	}
 	return true
+}
+
+// AssignBench exposes one chunked constrained-assignment pass (the distance
+// pass plus the serial feasibility placement) for benchmarking; see
+// cmd/bench and BenchmarkConstrainedAssignChunked.
+type AssignBench struct {
+	ds      *dataset.Dataset
+	pre     *prep
+	opts    Options
+	centers [][]float64
+	dists   []float64
+	comp    []int
+	workers int
+}
+
+// NewAssignBench prepares a benchmark harness over ds with the given
+// constraints: centers are the deterministic seed-0 sample, so every call
+// measures the same work.
+func NewAssignBench(ds *dataset.Dataset, cons *Constraints, k, workers, chunkSize int) (*AssignBench, error) {
+	if ds == nil {
+		return nil, errors.New("copkmeans: nil dataset")
+	}
+	if cons == nil {
+		cons = &Constraints{}
+	}
+	pre, err := prepare(ds.N(), cons)
+	if err != nil {
+		return nil, err
+	}
+	opts := DefaultOptions(k)
+	opts.ChunkSize = chunkSize
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = 512
+	}
+	rng := stats.NewRNG(0)
+	centers := make([][]float64, k)
+	for c, idx := range rng.Sample(ds.N(), k) {
+		centers[c] = append([]float64(nil), ds.Row(idx)...)
+	}
+	return &AssignBench{
+		ds: ds, pre: pre, opts: opts, centers: centers,
+		dists:   make([]float64, len(pre.roots)*k),
+		comp:    make([]int, len(pre.roots)),
+		workers: engine.DefaultWorkers(workers),
+	}, nil
+}
+
+// Assign runs one constrained assignment pass and returns its cost.
+func (b *AssignBench) Assign() (float64, error) {
+	nc := len(b.pre.roots)
+	k := b.opts.K
+	engine.ParallelChunks(nc, b.opts.ChunkSize, b.workers, func(_, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			members := b.pre.members[t]
+			for c := 0; c < k; c++ {
+				total := 0.0
+				for _, i := range members {
+					total += distSq(b.ds.Row(i), b.centers[c])
+				}
+				b.dists[t*k+c] = total
+			}
+		}
+	})
+	for t := range b.comp {
+		b.comp[t] = -1
+	}
+	cost := 0.0
+	cands := make([]struct {
+		c    int
+		dist float64
+	}, k)
+	for t := 0; t < nc; t++ {
+		for c := 0; c < k; c++ {
+			cands[c].c, cands[c].dist = c, b.dists[t*k+c]
+		}
+		for i := 1; i < len(cands); i++ {
+			for j := i; j > 0 && cands[j].dist < cands[j-1].dist; j-- {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			}
+		}
+		placed := false
+		for _, cd := range cands {
+			if feasible(t, cd.c, b.pre, b.comp) {
+				b.comp[t] = cd.c
+				cost += cd.dist
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return 0, fmt.Errorf("%w: component %d has no feasible cluster", ErrInfeasible, b.pre.roots[t])
+		}
+	}
+	return cost, nil
 }
 
 func distSq(a, b []float64) float64 {

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The supervision parsers are cmd/sspc's second untrusted-input surface
+// (after the CSV loaders): -constraints and -seeds point them at whatever
+// file the user names. The fuzz targets pin the parser contract on
+// arbitrary bytes: never panic, accept exactly the documented line
+// language, and on success return values that re-validate — every accepted
+// line must survive an independent re-check of the grammar, so the parsers
+// cannot silently accept a wider language than their doc comments promise.
+
+var constraintsSeedInputs = []string{
+	"must 0 1\ncannot 2 3\n",
+	"# comment\n\nmust 4 5", // no trailing newline
+	"  must 1   2  \n",      // extra blanks
+	"must 1\n",              // short line
+	"must 1 2 3\n",          // long line
+	"link 1 2\n",            // unknown kind
+	"must 1 1\n",            // self pair
+	"must -1 2\n",           // sign
+	"must 01 2\n",           // leading zero (accepted: base-10 digits)
+	"must 1e2 2\n",          // float spelling
+	"must 0x1 2\n",          // hex
+	"MUST 1 2\n",            // case-sensitive kind
+	"must\t3\t4\n",          // tabs as separators
+	"",
+	"\n#\n",
+	"must 99999999999999999999 1\n", // overflows int
+}
+
+// acceptedConstraintLine re-checks one line against the documented grammar,
+// independently of the parser's own code path.
+func acceptedConstraintLine(line string) bool {
+	text := strings.TrimSpace(line)
+	if text == "" || strings.HasPrefix(text, "#") {
+		return true // skipped, not accepted-with-content
+	}
+	f := strings.Fields(text)
+	if len(f) != 3 || (f[0] != "must" && f[0] != "cannot") {
+		return false
+	}
+	a, aok := digitsIndex(f[1])
+	b, bok := digitsIndex(f[2])
+	return aok && bok && a != b
+}
+
+// digitsIndex is the reference spelling check: one or more ASCII digits
+// (no sign, no blanks, no hex), with strconv deciding int range only.
+func digitsIndex(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+	}
+	v, err := strconv.Atoi(s)
+	return v, err == nil
+}
+
+// FuzzParseConstraints: ParseConstraints(arbitrary bytes) must not panic,
+// must accept an input iff every line is in the documented language, and on
+// success must return exactly the non-comment lines' pairs in file order.
+func FuzzParseConstraints(f *testing.F) {
+	for _, s := range constraintsSeedInputs {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		must, cannot, err := ParseConstraints(strings.NewReader(input))
+		lines := strings.Split(input, "\n")
+		wantOK := true
+		for _, l := range lines {
+			if !acceptedConstraintLine(l) {
+				wantOK = false
+				break
+			}
+		}
+		if (err == nil) != wantOK {
+			t.Fatalf("accept/reject mismatch: err = %v, reference grammar says ok=%v (input %q)", err, wantOK, input)
+		}
+		if err != nil {
+			return
+		}
+		for _, p := range append(append([][2]int{}, must...), cannot...) {
+			if p[0] < 0 || p[1] < 0 || p[0] == p[1] {
+				t.Fatalf("accepted pair %v violates the documented invariants", p)
+			}
+		}
+	})
+}
+
+var seedSetSeedInputs = []string{
+	"0 1 2\n1 3\n",
+	"# comment\n0 5",
+	"0 5 5\n",    // duplicate within class collapses
+	"0 1\n1 1\n", // object in two classes: error
+	"0\n",        // class with no objects
+	"x 1\n",      // non-numeric class
+	"0 -1\n",     // sign
+	"0 1.5\n",    // float spelling
+	"",
+	"\n\n#only comments\n",
+	"7 0\n7 0\n", // same line twice
+}
+
+// FuzzParseSeedSet: ParseSeedSets(arbitrary bytes) must not panic, must
+// accept an input iff every line matches "<class> <obj>..." in digits-only
+// spelling with no object in two classes, and on success every returned set
+// must be sorted, duplicate-free, and class-disjoint.
+func FuzzParseSeedSet(f *testing.F) {
+	for _, s := range seedSetSeedInputs {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		sets, err := ParseSeedSets(strings.NewReader(input))
+		// Reference acceptance: grammar per line plus the cross-line
+		// one-class-per-object rule.
+		wantOK := true
+		classOf := map[int]int{}
+	ref:
+		for _, l := range strings.Split(input, "\n") {
+			text := strings.TrimSpace(l)
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			f := strings.Fields(text)
+			if len(f) < 2 {
+				wantOK = false
+				break
+			}
+			class, ok := digitsIndex(f[0])
+			if !ok {
+				wantOK = false
+				break
+			}
+			for _, s := range f[1:] {
+				obj, ok := digitsIndex(s)
+				if !ok {
+					wantOK = false
+					break ref
+				}
+				if prev, seen := classOf[obj]; seen && prev != class {
+					wantOK = false
+					break ref
+				}
+				classOf[obj] = class
+			}
+		}
+		if (err == nil) != wantOK {
+			t.Fatalf("accept/reject mismatch: err = %v, reference grammar says ok=%v (input %q)", err, wantOK, input)
+		}
+		if err != nil {
+			return
+		}
+		seen := map[int]bool{}
+		for c, objs := range sets {
+			if c < 0 || len(objs) == 0 {
+				t.Fatalf("class %d with %d objects in accepted output", c, len(objs))
+			}
+			for i, o := range objs {
+				if o < 0 || (i > 0 && objs[i-1] >= o) {
+					t.Fatalf("class %d objects %v not sorted unique non-negative", c, objs)
+				}
+				if seen[o] {
+					t.Fatalf("object %d appears in two classes", o)
+				}
+				seen[o] = true
+			}
+		}
+	})
+}

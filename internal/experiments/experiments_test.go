@@ -195,6 +195,42 @@ func TestFigure8Tiny(t *testing.T) {
 	}
 }
 
+func TestSupervisionStylesTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-algorithm sweep")
+	}
+	tb, err := SupervisionStyles(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, 4, 4)
+	// Every cell is a valid ARI.
+	for _, r := range tb.Rows {
+		for c, v := range r.Cells {
+			if v < -1.0001 || v > 1.0001 {
+				t.Errorf("row %q col %d: ARI %v out of range", r.Label, c, v)
+			}
+		}
+	}
+}
+
+func TestSubspaceBaselinesTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-algorithm sweep")
+	}
+	tb, err := SubspaceBaselines(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, 4, 3)
+	// SSPC should dominate the unsupervised full-matrix baselines at high
+	// cluster dimensionality (the projected structure is what it models).
+	last := tb.Rows[len(tb.Rows)-1]
+	if last.Cells[2] < 0.3 {
+		t.Errorf("SSPC(m) at l_real=8: ARI %v", last.Cells[2])
+	}
+}
+
 func TestHelpers(t *testing.T) {
 	if got := median([]float64{3, 1, 2}); got != 2 {
 		t.Errorf("median odd = %v", got)

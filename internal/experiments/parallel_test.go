@@ -84,6 +84,27 @@ func TestParallelCells(t *testing.T) {
 	}
 }
 
+// TestSupervisionStylesWorkersInvariance renders the supervision-styles
+// table serially and with the worker pool; identical tables prove the four
+// promoted algorithms keep the determinism contract through the harness.
+func TestSupervisionStylesWorkersInvariance(t *testing.T) {
+	serialCfg := tiny()
+	serialCfg.Workers = 1
+	serial, err := SupervisionStyles(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelCfg := tiny()
+	parallelCfg.Workers = 4
+	parallel, err := SupervisionStyles(parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("SupervisionStyles table changed with Workers=4")
+	}
+}
+
 // TestFigure4WorkersInvariance renders a real figure twice — serial and
 // with the worker pool — and requires identical tables, proving the
 // parallel harness reproduces the paper protocol exactly.

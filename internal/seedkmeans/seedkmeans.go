@@ -6,16 +6,22 @@
 // their class's cluster during every assignment step.
 //
 // Like COP-KMeans it operates in the full space, so it serves as the second
-// semi-supervised non-projected reference in this repository.
+// semi-supervised non-projected reference in this repository. It runs its
+// randomized restarts (the random centroids of unseeded clusters) through
+// the shared restart engine and chunks the per-object assignment scan, under
+// the repository-wide determinism contract: results are a pure function of
+// (dataset, knowledge, options) for every Workers/ChunkSize value.
 package seedkmeans
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -28,6 +34,34 @@ type Options struct {
 	Constrained   bool
 	MaxIterations int
 	Seed          int64
+
+	// Restarts is the number of independent randomized restarts; the result
+	// with the lowest cost is returned (ties keep the lowest restart index).
+	// <= 0 means 1. Restart r derives its RNG from engine.ChildSeed(Seed, r),
+	// so restart 0 reproduces the historical single-run output. Restarts only
+	// differ when some cluster has no seeds — a fully seeded run is
+	// deterministic and every restart returns the same result.
+	Restarts int
+
+	// Workers bounds the total worker budget: restarts run concurrently on
+	// up to this many goroutines, and workers left over parallelize the
+	// chunked assignment scan inside each restart. <= 0 means
+	// runtime.GOMAXPROCS(0). The worker count never changes the result.
+	Workers int
+
+	// EarlyStop, when > 0, streams the restarts: they launch lazily and the
+	// run stops once the best cost has not improved for EarlyStop
+	// consecutive restarts (judged in restart-index order), with Restarts as
+	// the hard cap. 0 runs the fixed best-of-Restarts protocol.
+	EarlyStop int
+
+	// ChunkSize is the number of objects per unit of work in the chunked
+	// assignment scan. Chunk boundaries are fixed by this value alone, so
+	// any ChunkSize produces byte-identical output; it only tunes scheduling
+	// granularity. <= 0 means a default of 512. On a shard-backed dataset
+	// the chunk size aligns to the shard row count (engine.AlignChunk), so
+	// each worker's scan stays inside one shard's backing memory.
+	ChunkSize int
 }
 
 // DefaultOptions returns the seeded variant for k clusters.
@@ -50,20 +84,24 @@ func Run(ds *dataset.Dataset, kn *dataset.Knowledge, opts Options) (*cluster.Res
 	if err := kn.Validate(n, d, opts.K); err != nil {
 		return nil, err
 	}
-	rng := stats.NewRNG(opts.Seed)
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = 512
+	}
+	opts.ChunkSize = engine.AlignChunk(opts.ChunkSize, ds.ShardRows())
 
-	// Seed the centroids: mean of each class's labeled objects; random
-	// objects for unseeded clusters.
-	centers := make([][]float64, opts.K)
+	// Per-restart-invariant supervision state, computed once and shared
+	// read-only across concurrent restarts: the seed mean of each seeded
+	// cluster and the clamp map of the constrained variant.
+	seedMeans := make([][]float64, opts.K)
 	for c := 0; c < opts.K; c++ {
-		seeds := kn.ObjectsOfClass(c)
-		if len(seeds) > 0 {
-			centers[c] = ds.MeanVector(seeds)
-		} else {
-			centers[c] = append([]float64(nil), ds.Row(rng.Intn(n))...)
+		if seeds := kn.ObjectsOfClass(c); len(seeds) > 0 {
+			seedMeans[c] = ds.MeanVector(seeds)
 		}
 	}
-
 	clamped := map[int]int{}
 	if opts.Constrained && kn != nil {
 		for obj, c := range kn.ObjectLabels {
@@ -71,31 +109,72 @@ func Run(ds *dataset.Dataset, kn *dataset.Knowledge, opts Options) (*cluster.Res
 		}
 	}
 
+	intra := engine.SplitBudget(opts.Workers, restarts)
+	results, err := engine.Stream(context.Background(), restarts, opts.Workers, opts.Seed,
+		opts.EarlyStop, cluster.BetterResult,
+		func(_ int, rng *stats.RNG) (*cluster.Result, error) {
+			return runOnce(ds, opts, seedMeans, clamped, rng, intra)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return cluster.BestResult(results), nil
+}
+
+// runOnce is one restart: seed the centroids, then alternate the chunked
+// assignment scan with the serial update step until the centers stop moving.
+func runOnce(ds *dataset.Dataset, opts Options, seedMeans [][]float64, clamped map[int]int,
+	rng *stats.RNG, workers int) (*cluster.Result, error) {
+	n, d := ds.N(), ds.D()
+
+	// Seed the centroids: mean of each class's labeled objects; random
+	// objects for unseeded clusters (the only randomized choice).
+	centers := make([][]float64, opts.K)
+	for c := 0; c < opts.K; c++ {
+		if seedMeans[c] != nil {
+			centers[c] = append([]float64(nil), seedMeans[c]...)
+		} else {
+			centers[c] = append([]float64(nil), ds.Row(rng.Intn(n))...)
+		}
+	}
+
 	assign := make([]int, n)
+	dist := make([]float64, n)
 	var cost float64
 	iterations := 0
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		iterations++
+		// Assignment scan, chunked over fixed object ranges with disjoint
+		// writes (assign[i], dist[i]); the cost sum is folded afterwards in
+		// ascending object order — the exact addition sequence of the
+		// historical serial loop, so the result is byte-identical for every
+		// Workers/ChunkSize value.
+		engine.ParallelChunks(n, opts.ChunkSize, workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if c, ok := clamped[i]; ok {
+					assign[i] = c
+					dist[i] = distSq(ds.Row(i), centers[c])
+					continue
+				}
+				best := math.Inf(1)
+				arg := 0
+				row := ds.Row(i)
+				for c := 0; c < opts.K; c++ {
+					if d := distSq(row, centers[c]); d < best {
+						best = d
+						arg = c
+					}
+				}
+				assign[i] = arg
+				dist[i] = best
+			}
+		})
 		cost = 0
 		for i := 0; i < n; i++ {
-			if c, ok := clamped[i]; ok {
-				assign[i] = c
-				cost += distSq(ds.Row(i), centers[c])
-				continue
-			}
-			best := math.Inf(1)
-			arg := 0
-			row := ds.Row(i)
-			for c := 0; c < opts.K; c++ {
-				if dist := distSq(row, centers[c]); dist < best {
-					best = dist
-					arg = c
-				}
-			}
-			assign[i] = arg
-			cost += best
+			cost += dist[i]
 		}
-		// Update step.
+		// Update step (serial: per-cluster sums are order-sensitive float
+		// accumulations over ascending object index).
 		counts := make([]int, opts.K)
 		sums := make([][]float64, opts.K)
 		for c := range sums {

@@ -1,6 +1,8 @@
 package sspc
 
 import (
+	"io"
+
 	"repro/internal/bicluster"
 	"repro/internal/clique"
 	"repro/internal/copkmeans"
@@ -42,8 +44,10 @@ func BiclusterDefaults(k int, delta float64) BiclusterOptions {
 	return bicluster.DefaultOptions(k, delta)
 }
 
-// Biclusters runs the Cheng–Church algorithm (ISMB 2000).
-func Biclusters(ds *Dataset, opts BiclusterOptions) ([]Bicluster, error) {
+// Biclusters runs the Cheng–Church algorithm (ISMB 2000). It returns the
+// raw (possibly row-overlapping) biclusters and a flattened disjoint
+// partition scored by mean residue (lower is better).
+func Biclusters(ds *Dataset, opts BiclusterOptions) ([]Bicluster, *Result, error) {
 	return bicluster.Run(ds, opts)
 }
 
@@ -105,6 +109,24 @@ func SeedKMeansDefaults(k int) SeedKMeansOptions { return seedkmeans.DefaultOpti
 // Options.Constrained is set) — Basu et al., ICML 2002.
 func SeedKMeans(ds *Dataset, kn *Knowledge, opts SeedKMeansOptions) (*Result, error) {
 	return seedkmeans.Run(ds, kn, opts)
+}
+
+// Supervision merges every supervision form the paper's §2 survey
+// compares — labeled objects/dimensions, must/cannot-link pairs, and seed
+// sets — and converts between them (AsKnowledge, AsConstraints,
+// AsSeedSets) so any algorithm can consume any form.
+type Supervision = core.Supervision
+
+// ParseConstraints reads a must/cannot pair file ("must <i> <j>" /
+// "cannot <i> <j>", # comments).
+func ParseConstraints(r io.Reader) (must, cannot [][2]int, err error) {
+	return core.ParseConstraints(r)
+}
+
+// ParseSeedSets reads a seed-set file ("<class> <obj> [<obj> ...]",
+// # comments).
+func ParseSeedSets(r io.Reader) (map[int][]int, error) {
+	return core.ParseSeedSets(r)
 }
 
 // Trace observes SSPC's initialization and iterations via Options.Trace.

@@ -32,7 +32,7 @@ func TestFacadeBiclusters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	found, err := Biclusters(gt.Data, BiclusterDefaults(2, 50))
+	found, res, err := Biclusters(gt.Data, BiclusterDefaults(2, 50))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,6 +43,9 @@ func TestFacadeBiclusters(t *testing.T) {
 		if len(b.Rows) < 2 || len(b.Cols) < 2 {
 			t.Errorf("degenerate bicluster %dx%d", len(b.Rows), len(b.Cols))
 		}
+	}
+	if err := res.Validate(60, 20); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -67,6 +70,100 @@ func TestFacadeCOPKMeans(t *testing.T) {
 	bad := &Constraints{MustLink: [][2]int{{0, 1}}, CannotLink: [][2]int{{0, 1}}}
 	if _, err := COPKMeans(gt.Data, bad, COPKMeansDefaults(3)); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+// TestCrossSupervisionForms feeds the same labeled objects, expressed in
+// all three supervision forms (labels, pairwise constraints, seed sets),
+// through the Supervision conversions to every algorithm that accepts
+// supervision. Each combination must produce a valid Result without
+// panicking — the contract of the unified supervision layer.
+func TestCrossSupervisionForms(t *testing.T) {
+	const n, d, k = 150, 8, 3
+	gt, err := Generate(SynthConfig{N: n, D: d, K: k, AvgDims: 8, Seed: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn, err := SampleKnowledge(gt, KnowledgeConfig{Kind: ObjectsOnly, Coverage: 1, Size: 3, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same information in three forms. The constraint and seed-set
+	// forms are derived through the Supervision conversions themselves, so
+	// the test also proves conversion round-trips feed back in cleanly.
+	base := &Supervision{Knowledge: kn}
+	must, cannot, err := base.AsConstraints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := base.AsSeedSets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forms := []struct {
+		name string
+		sup  *Supervision
+	}{
+		{"labels", base},
+		{"constraints", &Supervision{MustLink: must, CannotLink: cannot}},
+		{"seedsets", &Supervision{SeedSets: sets}},
+	}
+
+	for _, form := range forms {
+		form := form
+		t.Run(form.name, func(t *testing.T) {
+			if err := form.sup.Validate(n, d, k); err != nil {
+				t.Fatal(err)
+			}
+			knF, err := form.sup.AsKnowledge()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustF, cannotF, err := form.sup.AsConstraints()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			algos := []struct {
+				name string
+				run  func() (*Result, error)
+			}{
+				{"SSPC", func() (*Result, error) {
+					opts := DefaultOptions(k)
+					opts.Knowledge = knF
+					opts.Seed = 38
+					return Cluster(gt.Data, opts)
+				}},
+				{"COPKMeans", func() (*Result, error) {
+					cons := &Constraints{MustLink: mustF, CannotLink: cannotF}
+					opts := COPKMeansDefaults(k)
+					opts.Seed = 38
+					return COPKMeans(gt.Data, cons, opts)
+				}},
+				{"SeedKMeans", func() (*Result, error) {
+					opts := SeedKMeansDefaults(k)
+					opts.Seed = 38
+					return SeedKMeans(gt.Data, knF, opts)
+				}},
+				{"ConstrainedKMeans", func() (*Result, error) {
+					opts := SeedKMeansDefaults(k)
+					opts.Constrained = true
+					opts.Seed = 38
+					return SeedKMeans(gt.Data, knF, opts)
+				}},
+			}
+			for _, a := range algos {
+				res, err := a.run()
+				if err != nil {
+					t.Errorf("%s under %s supervision: %v", a.name, form.name, err)
+					continue
+				}
+				if err := res.Validate(n, d); err != nil {
+					t.Errorf("%s under %s supervision: invalid result: %v", a.name, form.name, err)
+				}
+			}
+		})
 	}
 }
 
