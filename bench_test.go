@@ -604,6 +604,58 @@ func BenchmarkCOPKMeansRun(b *testing.B) {
 	}
 }
 
+// BenchmarkServeAssign measures the serving hot path: Step-3 assignment of
+// query batches through an Assigner built from a fitted model, the same
+// code cmd/sspcd runs under /assign. The fit, the model round-trip, and the
+// Assigner construction all happen in setup; the measured region is only
+// AssignBatch over batches of 1, 64, and 1024 rows cycled from the training
+// data. Allocations are reported: the hot path must stay at 0 allocs/op in
+// steady state (pinned by TestAssignerZeroAlloc and
+// TestModelAssignerZeroAlloc).
+func BenchmarkServeAssign(b *testing.B) {
+	gt := benchGroundTruth(b, 2000, 100, 5, 10)
+	opts := DefaultOptions(5)
+	opts.Seed = 42
+	res, err := Cluster(gt.Data, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mdl, err := ModelFromResult("sspc", "bench", opts.Seed, DatasetHash(gt.Data), gt.Data.D(), res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := mdl.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	decoded, err := DecodeModel(enc) // serve from the wire form, as sspcd does
+	if err != nil {
+		b.Fatal(err)
+	}
+	asn, err := decoded.Assigner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, d := gt.Data.N(), gt.Data.D()
+	rows := make([]float64, n*d)
+	for x := 0; x < n; x++ {
+		copy(rows[x*d:(x+1)*d], gt.Data.Row(x))
+	}
+	for _, batch := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			out := make([]int, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := (i * batch) % (n - batch + 1)
+				if err := asn.AssignBatch(rows[start*d:(start+batch)*d], out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkValidateKnowledge(b *testing.B) {
 	gt := benchGroundTruth(b, 200, 500, 4, 10)
 	kn, err := SampleKnowledge(gt, KnowledgeConfig{Kind: ObjectsAndDims, Coverage: 1, Size: 6, Seed: 2})

@@ -24,8 +24,10 @@
 // (BenchmarkEvaluateColumnar, BenchmarkGatherRows), the cluster-chunked
 // parallel evaluation path (BenchmarkEvaluateParallel), the chunked
 // COP-KMeans constrained-assignment pass
-// (BenchmarkConstrainedAssignChunked), and the macro assignment/sharding
-// benchmarks (BenchmarkAssignChunked, BenchmarkClusterSharded). CI runs the suite at -benchtime=1x every PR — a
+// (BenchmarkConstrainedAssignChunked), the macro assignment/sharding
+// benchmarks (BenchmarkAssignChunked, BenchmarkClusterSharded), and the
+// model-serving hot path (BenchmarkServeAssign — the Assigner behind
+// cmd/sspcd's /assign). CI runs the suite at -benchtime=1x every PR — a
 // compile-and-run smoke gate, not a measurement — verifies the committed
 // baseline's shape, and runs the cross-baseline diff in report-only mode
 // (single-core CI timings are noise; real numbers come from multi-core
@@ -48,13 +50,14 @@ import (
 )
 
 // defaultBench is the named benchmark suite a bare `bench` run executes.
-const defaultBench = "^(BenchmarkEvaluateColumnar|BenchmarkEvaluateParallel|BenchmarkGatherRows|BenchmarkAssignChunked|BenchmarkConstrainedAssignChunked|BenchmarkClusterSharded)$"
+const defaultBench = "^(BenchmarkEvaluateColumnar|BenchmarkEvaluateParallel|BenchmarkGatherRows|BenchmarkAssignChunked|BenchmarkConstrainedAssignChunked|BenchmarkClusterSharded|BenchmarkServeAssign)$"
 
 // requiredKeys are the benchmark names (GOMAXPROCS suffix stripped) a valid
 // baseline must contain: the four EvaluateColumnar legs that compare the
 // gather kernel against the per-element At scan, the bulk accessor feeding
-// it, and the worker sweeps of the cluster-chunked parallel evaluation path
-// and the chunked COP-KMeans constrained-assignment pass.
+// it, the worker sweeps of the cluster-chunked parallel evaluation path and
+// the chunked COP-KMeans constrained-assignment pass, and the serving hot
+// path's batch sweep (the Assigner behind cmd/sspcd's /assign).
 // The speedup report derives its key strings from this list — it is the one
 // authoritative copy of the names.
 var requiredKeys = []string{
@@ -72,6 +75,9 @@ var requiredKeys = []string{
 	"BenchmarkConstrainedAssignChunked/workers=8",
 	"BenchmarkGatherRows/flat",
 	"BenchmarkGatherRows/shards=16",
+	"BenchmarkServeAssign/batch=1",
+	"BenchmarkServeAssign/batch=64",
+	"BenchmarkServeAssign/batch=1024",
 }
 
 // Metrics is one benchmark's parsed result line.

@@ -12,6 +12,8 @@
 //	sspc -in data.csv -k 3 -algo copkmeans -constraints pairs.txt
 //	sspc -in data.csv -k 3 -algo seedkmeans -seeds seeds.txt -constrained
 //	sspc -in data.csv -k 3 -algo bicluster -delta 50
+//	sspc -in data.csv -k 5 -save fit.sspcm            # persist the fitted model
+//	sspc -in new.csv -load fit.sspcm                  # score rows, no refit
 //
 // The knowledge file has one entry per line:
 //
@@ -26,6 +28,13 @@
 //
 // Output: one line per object "<index> <cluster>" (−1 = outlier), followed
 // by the selected dimensions of each cluster and summary statistics.
+//
+// -save writes the fitted model — algorithm, options, seed, assignments, and
+// the per-cluster (dims, rep, ŝ²) scoring triples — in internal/model's
+// versioned container; sspc, proclus and doc emit servable models. -load
+// skips fitting entirely and scores the input rows with a saved model (the
+// same Step-3 rule cmd/sspcd serves over HTTP), byte-identical to the fit
+// that produced the model.
 package main
 
 import (
@@ -33,7 +42,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/bicluster"
 	"repro/internal/clarans"
@@ -45,6 +53,7 @@ import (
 	"repro/internal/doc"
 	"repro/internal/eval"
 	"repro/internal/harp"
+	"repro/internal/model"
 	"repro/internal/proclus"
 	"repro/internal/seedkmeans"
 )
@@ -77,6 +86,8 @@ func main() {
 		normalize   = flag.String("normalize", "none", "preprocessing: none | zscore | minmax | robust")
 		validate    = flag.Bool("validate", false, "validate knowledge and drop suspect entries before clustering (SSPC only)")
 		quiet       = flag.Bool("quiet", false, "suppress per-object assignments")
+		save        = flag.String("save", "", "after fitting, write the model (per-cluster dims/rep/ŝ² triples) to this file; sspc, proclus and doc only")
+		load        = flag.String("load", "", "skip fitting: load a saved model file and assign the input rows with it (-k not required)")
 	)
 	flag.Parse()
 
@@ -90,7 +101,7 @@ func main() {
 		return set
 	}
 
-	if *in == "" || *k <= 0 {
+	if *in == "" || (*k <= 0 && *load == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -138,6 +149,16 @@ func main() {
 			fail(err)
 		}
 		ds = sd.Dataset()
+	}
+
+	// Serving path: a saved model replaces the fit entirely — decode it,
+	// score every input row on the allocation-free assigner, and report in
+	// the same per-object format as a fit.
+	if *load != "" {
+		if err := serveModel(*load, ds, labels, *truth, *quiet); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	// Merge every supplied supervision source into one Supervision value;
@@ -302,7 +323,10 @@ func main() {
 		}
 	}
 	sizes, outliers := res.Sizes()
-	fmt.Fprintf(out, "# algorithm=%s k=%d score=%.6f iterations=%d\n", *algo, *k, res.Score, res.Iterations)
+	// k is what the run produced (CLIQUE's MaxClusters cap and biclustering
+	// can return fewer clusters than asked for); requested_k echoes the flag.
+	fmt.Fprintf(out, "# algorithm=%s k=%d requested_k=%d score=%.6f iterations=%d\n",
+		*algo, len(sizes), *k, res.Score, res.Iterations)
 	for c, s := range sizes {
 		fmt.Fprintf(out, "# cluster %d: %d objects", c, s)
 		if res.Dims != nil {
@@ -322,40 +346,96 @@ func main() {
 		}
 		fmt.Fprintf(out, "# ARI=%.4f\n", a)
 	}
+
+	if *save != "" {
+		if res.Fitted == nil {
+			fail(fmt.Errorf("-save: algorithm %q does not emit a servable model (sspc, proclus and doc do)", *algo))
+		}
+		fp := fmt.Sprintf("algo=%s k=%d scheme=%s m=%v p=%v l=%d w=%v restarts=%d earlystop=%d normalize=%s",
+			*algo, *k, *scheme, *m, *p, *l, *w, *restarts, *earlyStop, *normalize)
+		mdl, err := model.FromResult(*algo, fp, *seed, model.DatasetHash(ds), ds.D(), res)
+		if err != nil {
+			fail(err)
+		}
+		if err := mdl.Save(*save); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "# saved model %s key=%s\n", *save, mdl.Key())
+	}
 }
 
-// readKnowledge parses the "object <id> <class>" / "dim <id> <class>" file
-// format.
+// serveModel is the -load path: decode a saved model, check it against the
+// input's dimensionality, assign every row with the serving assigner, and
+// report in the fit path's per-object format (plus the model's identity, so
+// output is attributable to the exact fit that produced it).
+func serveModel(path string, ds *dataset.Dataset, labels []int, truth, quiet bool) error {
+	mdl, err := model.Load(path)
+	if err != nil {
+		return err
+	}
+	if ds.D() != mdl.D {
+		return fmt.Errorf("-load: input has %d columns, model %s needs %d", ds.D(), path, mdl.D)
+	}
+	a, err := mdl.Assigner()
+	if err != nil {
+		return err
+	}
+	rows := make([]float64, 0, ds.N()*ds.D())
+	for x := 0; x < ds.N(); x++ {
+		rows = append(rows, ds.Row(x)...)
+	}
+	assign := make([]int, ds.N())
+	if err := a.AssignBatch(rows, assign); err != nil {
+		return err
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	if !quiet {
+		for i, c := range assign {
+			fmt.Fprintf(out, "%d %d\n", i, c)
+		}
+	}
+	sizes := make([]int, mdl.K)
+	outliers := 0
+	for _, c := range assign {
+		if c == cluster.Outlier {
+			outliers++
+		} else {
+			sizes[c]++
+		}
+	}
+	fmt.Fprintf(out, "# model=%s algorithm=%s k=%d seed=%d key=%s\n",
+		path, mdl.Algo, mdl.K, mdl.Seed, mdl.Key())
+	for c, s := range sizes {
+		fmt.Fprintf(out, "# cluster %d: %d objects, dims %v\n", c, s, mdl.Clusters[c].Dims)
+	}
+	fmt.Fprintf(out, "# outliers: %d\n", outliers)
+	if truth {
+		ari, err := eval.ARI(labels, assign)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# ARI=%.4f\n", ari)
+	}
+	return nil
+}
+
+// readKnowledge loads an "object <id> <class>" / "dim <id> <class>" file via
+// core.ParseKnowledge. (The former fmt.Sscanf parser silently accepted
+// malformed lines: trailing junk after the class was ignored and glued
+// garbage like "3x" parsed as its digit prefix; the core parser rejects
+// both, with the same strictness as ParseConstraints/ParseSeedSets.)
 func readKnowledge(path string) (*dataset.Knowledge, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	kn := dataset.NewKnowledge()
-	sc := bufio.NewScanner(f)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		var kind string
-		var id, class int
-		if _, err := fmt.Sscanf(text, "%s %d %d", &kind, &id, &class); err != nil {
-			return nil, fmt.Errorf("%s:%d: %q: %v", path, line, text, err)
-		}
-		switch kind {
-		case "object":
-			kn.LabelObject(id, class)
-		case "dim":
-			kn.LabelDim(id, class)
-		default:
-			return nil, fmt.Errorf("%s:%d: unknown kind %q", path, line, kind)
-		}
+	kn, err := core.ParseKnowledge(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return kn, sc.Err()
+	return kn, nil
 }
 
 // readConstraints loads a must/cannot pair file via core.ParseConstraints.

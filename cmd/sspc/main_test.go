@@ -48,6 +48,15 @@ func TestReadKnowledgeRejectsBadLines(t *testing.T) {
 		"object five 0\n",
 		"object 1\n",
 		"banana 1 2\n",
+		// Lines the old fmt.Sscanf parser silently accepted.
+		"object 3 1 junk\n", // trailing tokens were ignored
+		"object 3x 1\n",     // glued garbage: %d stopped at the digit prefix
+		"object 3 1x\n",
+		"object -1 0\n", // signs are not part of the index language
+		"object +1 0\n",
+		"object 0x10 2\n",
+		// An object has one class; relabeling into another is a conflict.
+		"object 4 0\nobject 4 1\n",
 	} {
 		path := writeTemp(t, bad)
 		if _, err := readKnowledge(path); err == nil {

@@ -1,0 +1,99 @@
+// Command sspcd serves fitted projected-clustering models over HTTP+JSON,
+// splitting the paper's lopsided economics across processes: the rare,
+// expensive fit runs as an asynchronous job (or offline via cmd/sspc -save),
+// while the perpetual O(K·|V|) Step-3 scoring is answered from an in-memory
+// registry of decoded models on an allocation-free core.Assigner.
+//
+// Usage:
+//
+//	sspcd -addr :8080
+//	sspcd -addr :8080 -models fit1.sspcm,fit2.sspcm   # preload saved models
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness probe
+//	POST /fit                submit an async fit job (JSON body: algo, k,
+//	                         rows or csv, algorithm parameters, seed);
+//	                         answers with a job to poll. A registry hit on
+//	                         (dataset hash, algo, options, seed) returns a
+//	                         done job immediately instead of refitting.
+//	GET  /jobs/{id}          poll a fit job: state, progress (iterations and
+//	                         best objective, via core.Trace), model key
+//	GET  /models             list registered models
+//	POST /models             upload an encoded model file (internal/model)
+//	GET  /models/{key}       download a model's encoded bytes
+//	POST /assign             score a JSON batch {"model": key, "rows": [...]}
+//	                         → {"assignments": [...]} (−1 = outlier)
+//	POST /assign/csv?model=  score a raw CSV body, answering one
+//	                         "<index> <cluster>" line per row — cmd/sspc's
+//	                         per-object output format, byte-identical to the
+//	                         CLI scoring the same rows with the same model
+//
+// SIGINT/SIGTERM shut the server down gracefully: listeners close, in-flight
+// requests finish, and running fit jobs are drained before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		models  = flag.String("models", "", "comma-separated model files to preload into the registry")
+		timeout = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	srv := newServer()
+	for _, path := range strings.Split(*models, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		key, err := srv.loadModelFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sspcd: preload %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("sspcd: loaded %s as %s\n", path, key)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("sspcd: listening on %s\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "sspcd: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Printf("sspcd: %v, draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "sspcd: shutdown: %v\n", err)
+	}
+	// Fit jobs run outside the request lifecycle; wait for them too so a
+	// drain never abandons a computation it accepted.
+	done := make(chan struct{})
+	go func() { srv.fits.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "sspcd: drain timeout with fit jobs still running")
+	}
+}

@@ -1,0 +1,500 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/doc"
+	"repro/internal/model"
+	"repro/internal/proclus"
+)
+
+// entry is one registered model: the decoded body, its encoded bytes (served
+// back on download), and the prebuilt serving assigner shared by every
+// /assign request — built once at registration so the hot path never touches
+// the model again.
+type entry struct {
+	model    *model.Model
+	encoded  []byte
+	assigner *core.Assigner
+}
+
+// job tracks one asynchronous fit: submitted → running → done | failed. The
+// progress fields are fed by a core.Trace observer while the fit runs.
+type job struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // "running" | "done" | "failed"
+	// Progress mirrors the latest trace callback: completed main-loop
+	// iterations across all restarts, and the best objective so far.
+	Iterations int     `json:"iterations"`
+	BestScore  float64 `json:"best_score"`
+	Restarts   int     `json:"restarts_seen"`
+	// Model is the registry key of the fitted model once State is "done".
+	Model string `json:"model,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Cached reports that the fit was answered by a registry hit instead of
+	// a new computation.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// fitRequest is the POST /fit body. Exactly one of Rows and CSV supplies the
+// dataset. Workers tunes wall-clock only and is excluded from the model
+// identity; every other field participates in the registry key.
+type fitRequest struct {
+	Algo string `json:"algo"` // "sspc" | "proclus" | "doc"
+	K    int    `json:"k"`
+
+	Rows [][]float64 `json:"rows,omitempty"`
+	CSV  string      `json:"csv,omitempty"`
+
+	Normalize string `json:"normalize,omitempty"` // "" | "none" | "zscore" | "minmax" | "robust"
+
+	// SSPC threshold scheme: "m" (default) or "p", with its parameter.
+	Scheme string  `json:"scheme,omitempty"`
+	M      float64 `json:"m,omitempty"`
+	P      float64 `json:"p,omitempty"`
+	// L is PROCLUS's average cluster dimensionality; W is DOC's box
+	// half-width.
+	L int     `json:"l,omitempty"`
+	W float64 `json:"w,omitempty"`
+
+	Seed      int64 `json:"seed,omitempty"`
+	Restarts  int   `json:"restarts,omitempty"`
+	EarlyStop int   `json:"earlystop,omitempty"`
+	Workers   int   `json:"workers,omitempty"`
+}
+
+// server is the sspcd HTTP state: the model registry and the fit-job table.
+type server struct {
+	mu      sync.Mutex
+	models  map[string]*entry
+	jobs    map[string]*job
+	nextJob int
+	// fits tracks in-flight fit goroutines so shutdown can drain them.
+	fits sync.WaitGroup
+
+	// assignScratch pools the flatten/assign buffers of the hot path, so
+	// steady-state /assign requests reuse memory instead of growing the heap
+	// per call.
+	assignScratch sync.Pool
+}
+
+type assignBuffers struct {
+	rows []float64
+	out  []int
+}
+
+func newServer() *server {
+	s := &server{
+		models: make(map[string]*entry),
+		jobs:   make(map[string]*job),
+	}
+	s.assignScratch.New = func() any { return &assignBuffers{} }
+	return s
+}
+
+// register decodes nothing — it takes an already-decoded model plus its
+// encoded bytes, builds the serving assigner, and stores the entry under the
+// model's key. Registering the same key twice is idempotent.
+func (s *server) register(m *model.Model, encoded []byte) (string, error) {
+	a, err := m.Assigner()
+	if err != nil {
+		return "", err
+	}
+	key := m.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.models[key]; !ok {
+		s.models[key] = &entry{model: m, encoded: encoded, assigner: a}
+	}
+	return key, nil
+}
+
+// loadModelFile reads, decodes and registers a model file (the -models
+// preload path).
+func (s *server) loadModelFile(path string) (string, error) {
+	m, err := model.Load(path)
+	if err != nil {
+		return "", err
+	}
+	enc, err := m.Encode()
+	if err != nil {
+		return "", err
+	}
+	return s.register(m, enc)
+}
+
+// ServeHTTP routes requests by hand: go.mod pins the language to a version
+// whose ServeMux has no method or wildcard patterns, so the table lives here.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		fmt.Fprintln(w, "ok")
+	case path == "/fit" && r.Method == http.MethodPost:
+		s.handleFit(w, r)
+	case strings.HasPrefix(path, "/jobs/") && r.Method == http.MethodGet:
+		s.handleJob(w, r, strings.TrimPrefix(path, "/jobs/"))
+	case path == "/models" && r.Method == http.MethodGet:
+		s.handleModelList(w)
+	case path == "/models" && r.Method == http.MethodPost:
+		s.handleModelUpload(w, r)
+	case strings.HasPrefix(path, "/models/") && r.Method == http.MethodGet:
+		s.handleModelDownload(w, strings.TrimPrefix(path, "/models/"))
+	case path == "/assign" && r.Method == http.MethodPost:
+		s.handleAssign(w, r)
+	case path == "/assign/csv" && r.Method == http.MethodPost:
+		s.handleAssignCSV(w, r)
+	default:
+		httpError(w, http.StatusNotFound, "no route for %s %s", r.Method, path)
+	}
+}
+
+// fingerprint is the canonical option string of a fit request — the Options
+// component of the registry key. Only result-determining fields participate:
+// Workers (and chunking) never change the output, so they are excluded and
+// re-fitting with a different worker count still hits the cache.
+func (r *fitRequest) fingerprint() string {
+	switch r.Algo {
+	case "sspc":
+		scheme := r.Scheme
+		if scheme == "" {
+			scheme = "m"
+		}
+		return fmt.Sprintf("algo=sspc k=%d scheme=%s m=%v p=%v restarts=%d earlystop=%d normalize=%s",
+			r.K, scheme, r.M, r.P, r.Restarts, r.EarlyStop, r.Normalize)
+	case "proclus":
+		return fmt.Sprintf("algo=proclus k=%d l=%d restarts=%d earlystop=%d normalize=%s",
+			r.K, r.L, r.Restarts, r.EarlyStop, r.Normalize)
+	case "doc":
+		return fmt.Sprintf("algo=doc k=%d w=%v restarts=%d earlystop=%d normalize=%s",
+			r.K, r.W, r.Restarts, r.EarlyStop, r.Normalize)
+	}
+	return "algo=" + r.Algo
+}
+
+// dataset materializes the request's data (inline rows or CSV text) and
+// applies the requested normalization.
+func (r *fitRequest) dataset() (*dataset.Dataset, error) {
+	var ds *dataset.Dataset
+	var err error
+	switch {
+	case len(r.Rows) > 0 && r.CSV != "":
+		return nil, fmt.Errorf("supply rows or csv, not both")
+	case len(r.Rows) > 0:
+		ds, err = dataset.FromRows(r.Rows)
+	case r.CSV != "":
+		ds, err = dataset.ReadCSV(strings.NewReader(r.CSV), false)
+	default:
+		return nil, fmt.Errorf("no dataset: supply rows or csv")
+	}
+	if err != nil {
+		return nil, err
+	}
+	switch r.Normalize {
+	case "", "none":
+	case "zscore":
+		ds, err = dataset.ZScoreNormalize(ds)
+	case "minmax":
+		ds, err = dataset.MinMaxNormalize(ds)
+	case "robust":
+		ds, err = dataset.RobustNormalize(ds)
+	default:
+		return nil, fmt.Errorf("unknown normalization %q", r.Normalize)
+	}
+	return ds, err
+}
+
+// run executes the fit described by the request. Only the three algorithms
+// with a servable fitted shape are offered.
+func (r *fitRequest) run(ds *dataset.Dataset, trace *core.Trace) (*cluster.Result, error) {
+	switch r.Algo {
+	case "sspc":
+		opts := core.DefaultOptions(r.K)
+		if r.Scheme == "p" {
+			opts.Scheme = core.SchemeP
+			opts.P = r.P
+		} else if r.M > 0 {
+			opts.M = r.M
+		}
+		opts.Seed = r.Seed
+		opts.Restarts = r.Restarts
+		opts.Workers = r.Workers
+		opts.EarlyStop = r.EarlyStop
+		opts.Trace = trace
+		return core.Run(ds, opts)
+	case "proclus":
+		opts := proclus.DefaultOptions(r.K, r.L)
+		opts.Seed = r.Seed
+		opts.Restarts = r.Restarts
+		opts.Workers = r.Workers
+		opts.EarlyStop = r.EarlyStop
+		return proclus.Run(ds, opts)
+	case "doc":
+		opts := doc.DefaultOptions(r.K, r.W)
+		opts.Seed = r.Seed
+		opts.Restarts = r.Restarts
+		opts.Workers = r.Workers
+		opts.EarlyStop = r.EarlyStop
+		return doc.Run(ds, opts)
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (serving supports sspc, proclus, doc)", r.Algo)
+}
+
+// handleFit submits an asynchronous fit: the response carries a job ID to
+// poll. A registry hit — same dataset hash, algorithm, canonical options and
+// seed — short-circuits to a done job pointing at the existing model.
+func (s *server) handleFit(w http.ResponseWriter, r *http.Request) {
+	var req fitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "fit request: %v", err)
+		return
+	}
+	ds, err := req.dataset()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "fit request: %v", err)
+		return
+	}
+	hash := model.DatasetHash(ds)
+	key := model.Key(hash, req.Algo, req.fingerprint(), req.Seed)
+
+	s.mu.Lock()
+	_, cached := s.models[key]
+	s.nextJob++
+	j := &job{ID: fmt.Sprintf("job-%d", s.nextJob), State: "running"}
+	if cached {
+		j.State = "done"
+		j.Model = key
+		j.Cached = true
+	}
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+
+	if !cached {
+		trace := &core.Trace{OnIteration: func(st core.IterationStats) {
+			s.mu.Lock()
+			j.Iterations++
+			if st.Restart+1 > j.Restarts {
+				j.Restarts = st.Restart + 1
+			}
+			if j.Iterations == 1 || st.BestScore > j.BestScore {
+				j.BestScore = st.BestScore
+			}
+			s.mu.Unlock()
+		}}
+		s.fits.Add(1)
+		go func() {
+			defer s.fits.Done()
+			res, err := req.run(ds, trace)
+			var m *model.Model
+			if err == nil {
+				m, err = model.FromResult(req.Algo, req.fingerprint(), req.Seed, hash, ds.D(), res)
+			}
+			var enc []byte
+			if err == nil {
+				enc, err = m.Encode()
+			}
+			var regKey string
+			if err == nil {
+				regKey, err = s.register(m, enc)
+			}
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if err != nil {
+				j.State = "failed"
+				j.Error = err.Error()
+				return
+			}
+			j.State = "done"
+			j.Model = regKey
+		}()
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, j, &s.mu)
+}
+
+func (s *server) handleJob(w http.ResponseWriter, _ *http.Request, id string) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, j, &s.mu)
+}
+
+// modelSummary is one row of GET /models.
+type modelSummary struct {
+	Key   string  `json:"key"`
+	Algo  string  `json:"algo"`
+	K     int     `json:"k"`
+	D     int     `json:"d"`
+	N     int     `json:"n"`
+	Score float64 `json:"score"`
+}
+
+func (s *server) handleModelList(w http.ResponseWriter) {
+	s.mu.Lock()
+	list := make([]modelSummary, 0, len(s.models))
+	for key, e := range s.models {
+		list = append(list, modelSummary{
+			Key: key, Algo: e.model.Algo,
+			K: e.model.K, D: e.model.D, N: e.model.N, Score: e.model.Score,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].Key < list[j].Key })
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, list, &s.mu)
+}
+
+func (s *server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	m, err := model.Decode(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := s.register(m, data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]string{"key": key}, &s.mu)
+}
+
+func (s *server) handleModelDownload(w http.ResponseWriter, key string) {
+	s.mu.Lock()
+	e, ok := s.models[key]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown model %q", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(e.encoded)
+}
+
+// lookup resolves a model key to its registry entry.
+func (s *server) lookup(key string) (*entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.models[key]
+	return e, ok
+}
+
+// assignRequest is the POST /assign body.
+type assignRequest struct {
+	Model string      `json:"model"`
+	Rows  [][]float64 `json:"rows"`
+}
+
+// handleAssign is the serving hot path: flatten the batch into a pooled
+// buffer, score it on the prebuilt allocation-free assigner, return the
+// winning cluster per row (−1 = outlier).
+func (s *server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	var req assignRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "assign request: %v", err)
+		return
+	}
+	e, ok := s.lookup(req.Model)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown model %q", req.Model)
+		return
+	}
+	d := e.assigner.D()
+	buf := s.assignScratch.Get().(*assignBuffers)
+	defer s.assignScratch.Put(buf)
+	buf.rows = buf.rows[:0]
+	for i, row := range req.Rows {
+		if len(row) != d {
+			httpError(w, http.StatusBadRequest, "row %d has %d values, model needs %d", i, len(row), d)
+			return
+		}
+		buf.rows = append(buf.rows, row...)
+	}
+	if cap(buf.out) < len(req.Rows) {
+		buf.out = make([]int, len(req.Rows))
+	}
+	buf.out = buf.out[:len(req.Rows)]
+	if err := e.assigner.AssignBatch(buf.rows, buf.out); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string][]int{"assignments": buf.out}, &s.mu)
+}
+
+// handleAssignCSV scores a raw CSV body (no header) against the model named
+// by the ?model= query parameter and answers in cmd/sspc's per-object output
+// format — one "<index> <cluster>" line per row — so a shell diff against
+// the CLI needs no JSON tooling.
+func (s *server) handleAssignCSV(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("model")
+	e, ok := s.lookup(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown model %q", key)
+		return
+	}
+	ds, err := dataset.ReadCSV(r.Body, false)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "csv body: %v", err)
+		return
+	}
+	if ds.D() != e.assigner.D() {
+		httpError(w, http.StatusBadRequest, "csv has %d columns, model needs %d", ds.D(), e.assigner.D())
+		return
+	}
+	buf := s.assignScratch.Get().(*assignBuffers)
+	defer s.assignScratch.Put(buf)
+	buf.rows = buf.rows[:0]
+	for x := 0; x < ds.N(); x++ {
+		buf.rows = append(buf.rows, ds.Row(x)...)
+	}
+	if cap(buf.out) < ds.N() {
+		buf.out = make([]int, ds.N())
+	}
+	buf.out = buf.out[:ds.N()]
+	if err := e.assigner.AssignBatch(buf.rows, buf.out); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for x, c := range buf.out {
+		fmt.Fprintf(w, "%d %d\n", x, c)
+	}
+}
+
+// writeJSON encodes v while holding mu, because job values keep being
+// mutated by fit goroutines after the handler snapshots a pointer to them.
+func writeJSON(w io.Writer, v any, mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}

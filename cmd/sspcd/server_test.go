@@ -1,0 +1,330 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/synth"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer()
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// fitAndModel runs a small in-process SSPC fit and returns its model plus
+// the training rows (as [][]float64 and CSV text).
+func fitAndModel(t *testing.T) (*model.Model, [][]float64, string) {
+	t.Helper()
+	gt, err := synth.Generate(synth.Config{N: 120, D: 12, K: 2, AvgDims: 4, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions(2)
+	opts.Seed = 9
+	res, err := core.Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.FromResult("sspc", "test", 9, model.DatasetHash(gt.Data), gt.Data.D(), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]float64, gt.Data.N())
+	var csv strings.Builder
+	for x := 0; x < gt.Data.N(); x++ {
+		rows[x] = append([]float64(nil), gt.Data.Row(x)...)
+		for j, v := range rows[x] {
+			if j > 0 {
+				csv.WriteByte(',')
+			}
+			fmt.Fprintf(&csv, "%g", v)
+		}
+		csv.WriteByte('\n')
+	}
+	return m, rows, csv.String()
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJSON(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestUploadListDownloadAssign(t *testing.T) {
+	_, ts := testServer(t)
+	m, rows, _ := fitAndModel(t)
+	enc, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/models", "application/octet-stream", bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up map[string]string
+	decodeJSON(t, resp, &up)
+	if up["key"] != m.Key() {
+		t.Fatalf("upload key %q, want %q", up["key"], m.Key())
+	}
+
+	resp, err = http.Get(ts.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []modelSummary
+	decodeJSON(t, resp, &list)
+	if len(list) != 1 || list[0].Key != m.Key() || list[0].Algo != "sspc" {
+		t.Fatalf("model list = %+v", list)
+	}
+
+	resp, err = http.Get(ts.URL + "/models/" + m.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !bytes.Equal(buf.Bytes(), enc) {
+		t.Fatal("downloaded bytes differ from uploaded")
+	}
+
+	// The serve-path identity: /assign over the training rows returns the
+	// fit's own assignments.
+	resp = postJSON(t, ts.URL+"/assign", assignRequest{Model: m.Key(), Rows: rows})
+	var got map[string][]int
+	decodeJSON(t, resp, &got)
+	if len(got["assignments"]) != len(m.Assignments) {
+		t.Fatalf("%d assignments, want %d", len(got["assignments"]), len(m.Assignments))
+	}
+	for x, c := range got["assignments"] {
+		if c != m.Assignments[x] {
+			t.Fatalf("object %d: served %d, fit assigned %d", x, c, m.Assignments[x])
+		}
+	}
+}
+
+func TestAssignCSVMatchesCLIFormat(t *testing.T) {
+	s, ts := testServer(t)
+	m, _, csv := fitAndModel(t)
+	enc, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.register(m, enc); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/assign/csv?model="+m.Key(), "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var want strings.Builder
+	for x, c := range m.Assignments {
+		fmt.Fprintf(&want, "%d %d\n", x, c)
+	}
+	if buf.String() != want.String() {
+		t.Fatalf("/assign/csv output differs from CLI per-object format:\n%s\nwant:\n%s", buf.String(), want.String())
+	}
+}
+
+func pollJob(t *testing.T, url, id string) *job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(url + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j job
+		decodeJSON(t, resp, &j)
+		if j.State != "running" {
+			return &j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still running after 30s", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestFitPollAssignAndCache(t *testing.T) {
+	_, ts := testServer(t)
+	_, rows, _ := fitAndModel(t)
+
+	req := fitRequest{Algo: "sspc", K: 2, Rows: rows, Seed: 9}
+	resp := postJSON(t, ts.URL+"/fit", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fit status %d", resp.StatusCode)
+	}
+	var j job
+	decodeJSON(t, resp, &j)
+	done := pollJob(t, ts.URL, j.ID)
+	if done.State != "done" || done.Model == "" {
+		t.Fatalf("job = %+v", done)
+	}
+	if done.Iterations == 0 {
+		t.Error("trace progress never reached the job")
+	}
+
+	// Same request again: the registry answers without refitting.
+	resp = postJSON(t, ts.URL+"/fit", req)
+	var j2 job
+	decodeJSON(t, resp, &j2)
+	if !j2.Cached || j2.State != "done" || j2.Model != done.Model {
+		t.Fatalf("second fit not served from cache: %+v", j2)
+	}
+	// A different seed is a different model identity.
+	req.Seed = 10
+	resp = postJSON(t, ts.URL+"/fit", req)
+	var j3 job
+	decodeJSON(t, resp, &j3)
+	if j3.Cached {
+		t.Fatal("different seed must not hit the cache")
+	}
+	pollJob(t, ts.URL, j3.ID)
+
+	// The fitted model serves assignments over its own training rows.
+	resp = postJSON(t, ts.URL+"/assign", assignRequest{Model: done.Model, Rows: rows})
+	var got map[string][]int
+	decodeJSON(t, resp, &got)
+	if len(got["assignments"]) != len(rows) {
+		t.Fatalf("%d assignments for %d rows", len(got["assignments"]), len(rows))
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, ts := testServer(t)
+	for _, tc := range []struct {
+		name string
+		do   func() (*http.Response, error)
+		want int
+	}{
+		{"unknown route", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/nope")
+		}, http.StatusNotFound},
+		{"bad fit body", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/fit", "application/json", strings.NewReader("{"))
+		}, http.StatusBadRequest},
+		{"fit without data", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/fit", "application/json", strings.NewReader(`{"algo":"sspc","k":2}`))
+		}, http.StatusBadRequest},
+		{"unknown fit field", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/fit", "application/json", strings.NewReader(`{"algo":"sspc","k":2,"bogus":1}`))
+		}, http.StatusBadRequest},
+		{"bad model upload", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/models", "application/octet-stream", strings.NewReader("not a model"))
+		}, http.StatusBadRequest},
+		{"unknown model download", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/models/nope")
+		}, http.StatusNotFound},
+		{"assign unknown model", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/assign", "application/json",
+				strings.NewReader(`{"model":"nope","rows":[[1]]}`))
+		}, http.StatusNotFound},
+		{"assign csv unknown model", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/assign/csv?model=nope", "text/csv", strings.NewReader("1,2\n"))
+		}, http.StatusNotFound},
+		{"job not found", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/jobs/nope")
+		}, http.StatusNotFound},
+	} {
+		resp, err := tc.do()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestAssignShapeErrors(t *testing.T) {
+	s, ts := testServer(t)
+	m, _, _ := fitAndModel(t)
+	enc, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.register(m, enc); err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/assign", assignRequest{Model: m.Key(), Rows: [][]float64{{1, 2}}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("short row: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/assign/csv?model="+m.Key(), "text/csv", strings.NewReader("1,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("narrow csv: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPreloadModelFile(t *testing.T) {
+	s, _ := testServer(t)
+	m, _, _ := fitAndModel(t)
+	path := t.TempDir() + "/m.sspcm"
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	key, err := s.loadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != m.Key() {
+		t.Fatalf("preload key %q, want %q", key, m.Key())
+	}
+	if _, err := s.loadModelFile("/nonexistent.sspcm"); err == nil {
+		t.Error("missing preload file should error")
+	}
+}

@@ -6,11 +6,30 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
 // Outlier is the assignment value for objects placed on the outlier list.
 const Outlier = -1
+
+// FittedCluster is the servable scoring state of one fitted cluster: the
+// selected dimensions, the representative's projection on each selected
+// dimension, and the per-dimension selection threshold ŝ²_ij — exactly the
+// packed (dims, rep, ŝ²) triple SSPC's Step-3 assignment reads. The three
+// slices run in parallel: Rep[t] and SHat[t] belong to dimension Dims[t].
+// Fitting is rare and expensive; this triple is everything the perpetual
+// O(K·|V|) scoring path needs, so it is what internal/model persists and
+// what a serving Assigner is built from.
+type FittedCluster struct {
+	// Dims lists the cluster's selected dimensions in ascending order.
+	Dims []int
+	// Rep holds the representative's projection on each selected dimension.
+	Rep []float64
+	// SHat holds the selection threshold ŝ²_ij per selected dimension;
+	// every value is finite and strictly positive.
+	SHat []float64
+}
 
 // Result is the output of a projected clustering run.
 type Result struct {
@@ -32,6 +51,12 @@ type Result struct {
 	ScoreHigherIsBetter bool
 	// Iterations is the number of main-loop iterations the algorithm ran.
 	Iterations int
+	// Fitted, when non-nil, carries the per-cluster scoring state (one
+	// FittedCluster per cluster, index-aligned with Dims) that reproduces
+	// Assignments when new points are scored under SSPC's Step-3 rule.
+	// Algorithms without a servable fitted shape (HARP, CLARANS, CLIQUE,
+	// the k-means baselines, biclustering) leave it nil.
+	Fitted []FittedCluster
 }
 
 // Members returns the objects assigned to cluster c in ascending order.
@@ -138,6 +163,43 @@ func (r *Result) Validate(n, d int) error {
 					return fmt.Errorf("cluster: cluster %d selects dim %d twice", c, dims[t])
 				}
 			}
+		}
+	}
+	if r.Fitted != nil {
+		if len(r.Fitted) != r.K {
+			return fmt.Errorf("cluster: %d fitted clusters for K=%d", len(r.Fitted), r.K)
+		}
+		for c, fc := range r.Fitted {
+			if err := fc.Validate(d); err != nil {
+				return fmt.Errorf("cluster: fitted cluster %d: %w", c, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks one fitted cluster's invariants against dimensionality d:
+// the three parallel slices have equal length, dims are strictly ascending
+// and in [0, d), representatives are finite, and every threshold is finite
+// and strictly positive (a selected dimension always has ŝ² > dispersion ≥ 0,
+// and the Step-3 score divides by it).
+func (fc *FittedCluster) Validate(d int) error {
+	if len(fc.Rep) != len(fc.Dims) || len(fc.SHat) != len(fc.Dims) {
+		return fmt.Errorf("parallel slices disagree: %d dims, %d rep, %d shat",
+			len(fc.Dims), len(fc.Rep), len(fc.SHat))
+	}
+	for t, j := range fc.Dims {
+		if j < 0 || j >= d {
+			return fmt.Errorf("dim %d out of range [0,%d)", j, d)
+		}
+		if t > 0 && fc.Dims[t-1] >= j {
+			return fmt.Errorf("dims not strictly ascending at index %d", t)
+		}
+		if math.IsNaN(fc.Rep[t]) || math.IsInf(fc.Rep[t], 0) {
+			return fmt.Errorf("representative on dim %d is %v", j, fc.Rep[t])
+		}
+		if math.IsNaN(fc.SHat[t]) || math.IsInf(fc.SHat[t], 0) || fc.SHat[t] <= 0 {
+			return fmt.Errorf("threshold on dim %d is %v (want finite > 0)", j, fc.SHat[t])
 		}
 	}
 	return nil

@@ -82,22 +82,7 @@ func newAssigner(n, d, k, workers, chunkSize int) *assigner {
 	}
 	a.assignFn = func(_, lo, hi int) {
 		for x := lo; x < hi; x++ {
-			row := a.ds.Row(x)
-			bestDelta := 0.0
-			bestC := cluster.Outlier
-			for i, dims := range a.packDims {
-				rep, sHat := a.packRep[i], a.packSHat[i]
-				delta := 0.0
-				for t, j := range dims {
-					diff := row[j] - rep[t]
-					delta += 1 - diff*diff/sHat[t]
-				}
-				if delta > bestDelta {
-					bestDelta = delta
-					bestC = i
-				}
-			}
-			a.out[x] = bestC
+			a.out[x] = scorePoint(a.ds.Row(x), a.packDims, a.packRep, a.packSHat)
 		}
 	}
 	a.evalFn = func(worker, lo, hi int) float64 {
@@ -120,6 +105,44 @@ func newAssigner(n, d, k, workers, chunkSize int) *assigner {
 // runs one cluster per chunk, each chunk value is a single φ_i and the fold
 // reproduces the serial Σ_i φ_i addition order exactly.
 func addPhi(acc, chunk float64) float64 { return acc + chunk }
+
+// scorePoint is the Step-3 scoring rule over packed per-cluster triples: the
+// point's improvement of cluster i is Σ_t (1 − diff²/ŝ²) over i's selected
+// dimensions in ascending order, and the winner is the cluster with the
+// largest strictly positive improvement (ties keep the lowest index); a point
+// improving no cluster is an outlier. Shared verbatim — same operations, same
+// order — by the in-fit assignment loop above and the exported serving
+// Assigner, so a persisted model scores exactly like the fit that produced
+// it.
+func scorePoint(row []float64, packDims [][]int, packRep, packSHat [][]float64) int {
+	bestDelta := 0.0
+	bestC := cluster.Outlier
+	for i, dims := range packDims {
+		rep, sHat := packRep[i], packSHat[i]
+		delta := 0.0
+		for t, j := range dims {
+			diff := row[j] - rep[t]
+			delta += 1 - diff*diff/sHat[t]
+		}
+		if delta > bestDelta {
+			bestDelta = delta
+			bestC = i
+		}
+	}
+	return bestC
+}
+
+// snapshotFitted copies the packed triples of the most recent assign call
+// into dst (one FittedCluster per cluster, slices reused across calls), so
+// the main loop can keep the exact scoring state that produced its best
+// assignment. Must be called between assign calls, never during one.
+func (a *assigner) snapshotFitted(dst []cluster.FittedCluster) {
+	for i := range dst {
+		dst[i].Dims = append(dst[i].Dims[:0], a.packDims[i]...)
+		dst[i].Rep = append(dst[i].Rep[:0], a.packRep[i]...)
+		dst[i].SHat = append(dst[i].SHat[:0], a.packSHat[i]...)
+	}
+}
 
 // assign scores every object against all K candidate clusters and writes the
 // winning cluster (or cluster.Outlier) into assign[x], in parallel over

@@ -90,6 +90,8 @@ func runOnce(ds *dataset.Dataset, opts Options, restart int, rng *stats.RNG, int
 	bestAssign := make([]int, n)
 	bestDims := make([][]int, opts.K)
 	bestPhi := make([]float64, opts.K)
+	bestFitted := make([]cluster.FittedCluster, opts.K)
+	haveFitted := false
 	bestScore := math.Inf(-1)
 
 	par := newAssigner(n, d, opts.K, intra, opts.ChunkSize)
@@ -130,6 +132,14 @@ func runOnce(ds *dataset.Dataset, opts Options, restart int, rng *stats.RNG, int
 		if improved {
 			bestScore = score
 			copy(bestAssign, assign)
+			// The assigner's packed triples still hold the scoring state that
+			// produced this iteration's assign (evaluate never touches them),
+			// so snapshotting here keeps exactly the model that reproduces
+			// bestAssign. Note Step 4 may have re-selected different dims than
+			// the snapshot's: bestDims describes the clusters, bestFitted
+			// describes the assignment rule.
+			par.snapshotFitted(bestFitted)
+			haveFitted = true
 			for i, st := range clusters {
 				bestDims[i] = append(bestDims[i][:0], st.dims...)
 				bestPhi[i] = st.phi
@@ -184,10 +194,27 @@ func runOnce(ds *dataset.Dataset, opts Options, restart int, rng *stats.RNG, int
 	for i := range bestDims {
 		res.Dims[i] = append([]int(nil), bestDims[i]...)
 	}
+	if haveFitted && fittedValid(bestFitted, d) {
+		res.Fitted = bestFitted
+	}
 	if err := res.Validate(n, d); err != nil {
 		return nil, fmt.Errorf("sspc: internal result invalid: %w", err)
 	}
 	return res, nil
+}
+
+// fittedValid reports whether every snapshot cluster passes
+// cluster.FittedCluster.Validate. A degenerate run (e.g. seed-group dims on a
+// zero-variance column giving ŝ² = 0 before the first re-selection) simply
+// drops Fitted from its result instead of failing: the clustering is still
+// valid, it just is not servable.
+func fittedValid(fitted []cluster.FittedCluster, d int) bool {
+	for i := range fitted {
+		if fitted[i].Validate(d) != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // detectBadCluster implements §4.3: the primary signal is a very low φ_i

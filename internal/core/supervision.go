@@ -380,6 +380,61 @@ func ParseSeedSets(r io.Reader) (map[int][]int, error) {
 	return out, nil
 }
 
+// ParseKnowledge reads SSPC's knowledge file (labeled objects Io and labeled
+// dimensions Iv). The language, accepted exactly (pinned by
+// FuzzParseKnowledge):
+//
+//   - lines are separated by '\n'; a final newline is optional;
+//   - a line whose first non-blank character is '#' is a comment; blank
+//     lines are skipped;
+//   - every other line is exactly three whitespace-separated fields:
+//     "object <index> <class>" or "dim <index> <class>", where <index> and
+//     <class> are non-negative base-10 integers.
+//
+// Labeling one object into two different classes is an error (an object has
+// one class); a dimension may be relevant to several classes, and duplicate
+// labels collapse. The result is unvalidated against any dataset shape —
+// callers run Knowledge.Validate (or Supervision.Validate) once the shape is
+// known.
+func ParseKnowledge(r io.Reader) (*dataset.Knowledge, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("knowledge: %w", err)
+	}
+	kn := dataset.NewKnowledge()
+	for line, l := range strings.Split(string(raw), "\n") {
+		line++
+		text := strings.TrimSpace(l)
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("knowledge line %d: want \"object|dim <index> <class>\", got %d fields", line, len(fields))
+		}
+		id, err := parseIndex(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("knowledge line %d: %w", line, err)
+		}
+		class, err := parseIndex(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("knowledge line %d: %w", line, err)
+		}
+		switch fields[0] {
+		case "object":
+			if prev, ok := kn.ObjectLabels[id]; ok && prev != class {
+				return nil, fmt.Errorf("knowledge line %d: object %d labeled into classes %d and %d", line, id, prev, class)
+			}
+			kn.LabelObject(id, class)
+		case "dim":
+			kn.LabelDim(id, class)
+		default:
+			return nil, fmt.Errorf("knowledge line %d: unknown kind %q (want \"object\" or \"dim\")", line, fields[0])
+		}
+	}
+	return kn, nil
+}
+
 // parseIndex parses a non-negative base-10 integer index. Signs, blanks,
 // hex, and anything strconv.Atoi would reject are errors, so the accepted
 // language is exactly the digits-only spelling.

@@ -95,6 +95,95 @@ func FuzzParseConstraints(f *testing.F) {
 	})
 }
 
+var knowledgeSeedInputs = []string{
+	"object 5 0\ndim 12 1\n",
+	"# comment\n\nobject 9 1",  // no trailing newline
+	"  dim 3   1  \n",          // extra blanks
+	"object 1\n",               // short line
+	"object 3 1 junk\n",        // long line (the old Sscanf parser took it)
+	"object 3x 1\n",            // glued garbage (ditto)
+	"banana 1 2\n",             // unknown kind
+	"object -1 0\n",            // sign
+	"object 01 2\n",            // leading zero (accepted: base-10 digits)
+	"object 0x10 2\n",          // hex
+	"OBJECT 1 2\n",             // case-sensitive kind
+	"object\t3\t4\n",           // tabs as separators
+	"object 4 0\nobject 4 1\n", // object in two classes: error
+	"object 4 0\nobject 4 0\n", // same label twice: fine
+	"dim 12 0\ndim 12 1\n",     // dim in two classes: fine
+	"",
+	"\n#\n",
+	"object 99999999999999999999 1\n", // overflows int
+}
+
+// FuzzParseKnowledge: ParseKnowledge(arbitrary bytes) must not panic, must
+// accept an input iff every line matches "object|dim <index> <class>" in
+// digits-only spelling with no object labeled into two classes, and on
+// success the returned Knowledge must echo exactly the accepted labels.
+func FuzzParseKnowledge(f *testing.F) {
+	for _, s := range knowledgeSeedInputs {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		kn, err := ParseKnowledge(strings.NewReader(input))
+		// Reference acceptance: grammar per line plus the cross-line
+		// one-class-per-object rule.
+		wantOK := true
+		classOf := map[int]int{}
+		for _, l := range strings.Split(input, "\n") {
+			text := strings.TrimSpace(l)
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			f := strings.Fields(text)
+			if len(f) != 3 || (f[0] != "object" && f[0] != "dim") {
+				wantOK = false
+				break
+			}
+			id, idOK := digitsIndex(f[1])
+			_, classOK := digitsIndex(f[2])
+			if !idOK || !classOK {
+				wantOK = false
+				break
+			}
+			if f[0] == "object" {
+				class, _ := digitsIndex(f[2])
+				if prev, seen := classOf[id]; seen && prev != class {
+					wantOK = false
+					break
+				}
+				classOf[id] = class
+			}
+		}
+		if (err == nil) != wantOK {
+			t.Fatalf("accept/reject mismatch: err = %v, reference grammar says ok=%v (input %q)", err, wantOK, input)
+		}
+		if err != nil {
+			return
+		}
+		if len(kn.ObjectLabels) != len(classOf) {
+			t.Fatalf("%d object labels, reference says %d (input %q)", len(kn.ObjectLabels), len(classOf), input)
+		}
+		for o, c := range classOf {
+			if kn.ObjectLabels[o] != c {
+				t.Fatalf("object %d labeled %d, reference says %d", o, kn.ObjectLabels[o], c)
+			}
+		}
+		for class, dims := range kn.DimLabels {
+			seen := map[int]bool{}
+			for _, j := range dims {
+				if j < 0 {
+					t.Fatalf("class %d selects negative dim %d", class, j)
+				}
+				if seen[j] {
+					t.Fatalf("class %d lists dim %d twice", class, j)
+				}
+				seen[j] = true
+			}
+		}
+	})
+}
+
 var seedSetSeedInputs = []string{
 	"0 1 2\n1 3\n",
 	"# comment\n0 5",

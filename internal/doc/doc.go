@@ -157,6 +157,7 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*clu
 		remaining[i] = i
 	}
 	dims := make([][]int, opts.K)
+	seeds := make([][]float64, opts.K) // winning trial's seed row per cluster
 	totalScore := 0.0
 	iterations := 0
 
@@ -164,6 +165,7 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*clu
 		bestScore := -1.0
 		var bestMembers []int
 		var bestDims []int
+		var bestSeed []float64
 		minSize := int(opts.Alpha * float64(len(remaining)))
 		if minSize < 2 {
 			minSize = 2
@@ -203,6 +205,7 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*clu
 						}
 						bestDims = D
 						bestMembers = members
+						bestSeed = prow
 						bestScore = mu(len(members), len(D), opts.Beta)
 					}
 					continue
@@ -215,6 +218,7 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*clu
 					bestScore = score
 					bestMembers = members
 					bestDims = D
+					bestSeed = prow
 				}
 			}
 		}
@@ -226,6 +230,7 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*clu
 		}
 		sort.Ints(bestDims)
 		dims[c] = bestDims
+		seeds[c] = bestSeed
 		totalScore += bestScore
 		remaining = removeAll(remaining, bestMembers)
 	}
@@ -243,10 +248,38 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*clu
 		ScoreHigherIsBetter: true,
 		Iterations:          iterations,
 	}
+	if fitted, ok := fittedFrom(d, dims, seeds, opts.W); ok {
+		res.Fitted = fitted
+	}
 	if err := res.Validate(n, d); err != nil {
 		return nil, fmt.Errorf("doc: internal result invalid: %w", err)
 	}
 	return res, nil
+}
+
+// fittedFrom builds the servable per-cluster (dims, rep, ŝ²) triples of a
+// finished run: each cluster's box dimensions, the winning trial's seed-point
+// projection on them, and w² as every threshold — so Step-3 scoring of the
+// fitted model treats "inside the box" (|x_j − p_j| ≤ w on every relevant
+// dimension) as a positive per-dimension contribution. A cluster DOC never
+// filled keeps an empty triple, matching its empty dim set. Returns ok=false
+// — dropping Fitted, not failing the run — if any triple is degenerate.
+func fittedFrom(d int, dims [][]int, seeds [][]float64, w float64) ([]cluster.FittedCluster, bool) {
+	fitted := make([]cluster.FittedCluster, len(dims))
+	for c := range dims {
+		fc := &fitted[c]
+		fc.Dims = append([]int(nil), dims[c]...)
+		fc.Rep = make([]float64, 0, len(dims[c]))
+		fc.SHat = make([]float64, 0, len(dims[c]))
+		for _, j := range dims[c] {
+			fc.Rep = append(fc.Rep, seeds[c][j])
+			fc.SHat = append(fc.SHat, w*w)
+		}
+		if fc.Validate(d) != nil {
+			return nil, false
+		}
+	}
+	return fitted, true
 }
 
 // mu is DOC's quality function µ(a, b) = a·(1/β)^b, computed in log space

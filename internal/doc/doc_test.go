@@ -143,3 +143,39 @@ func TestWidthControlsDimensions(t *testing.T) {
 		t.Errorf("width 200 should select nearly all dims for cluster 0, got %d", got)
 	}
 }
+
+func TestFittedSnapshotServable(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{
+		N: 300, D: 20, K: 3, AvgDims: 8,
+		LocalSDMinFrac: 0.01, LocalSDMaxFrac: 0.03, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(3, 15)
+	opts.Seed = 6
+	res, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fitted == nil {
+		t.Fatal("DOC result carries no fitted snapshot")
+	}
+	if len(res.Fitted) != res.K {
+		t.Fatalf("%d fitted clusters for K=%d", len(res.Fitted), res.K)
+	}
+	w2 := opts.W * opts.W
+	for c, fc := range res.Fitted {
+		if err := fc.Validate(gt.Data.D()); err != nil {
+			t.Errorf("cluster %d: %v", c, err)
+		}
+		if len(fc.Dims) != len(res.Dims[c]) {
+			t.Errorf("cluster %d: fitted dims %v, result dims %v", c, fc.Dims, res.Dims[c])
+		}
+		for t2 := range fc.Dims {
+			if fc.SHat[t2] != w2 {
+				t.Errorf("cluster %d: ŝ² = %v, want w² = %v", c, fc.SHat[t2], w2)
+			}
+		}
+	}
+}

@@ -171,3 +171,39 @@ func TestSmallDatasetDoesNotPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFittedSnapshotServable(t *testing.T) {
+	gt, err := synth.Generate(synth.Config{N: 300, D: 30, K: 3, AvgDims: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(3, 8)
+	opts.Seed = 4
+	res, err := Run(gt.Data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fitted == nil {
+		t.Fatal("PROCLUS result carries no fitted snapshot")
+	}
+	if len(res.Fitted) != res.K {
+		t.Fatalf("%d fitted clusters for K=%d", len(res.Fitted), res.K)
+	}
+	for c, fc := range res.Fitted {
+		if err := fc.Validate(gt.Data.D()); err != nil {
+			t.Errorf("cluster %d: %v", c, err)
+		}
+		if len(fc.Dims) != len(res.Dims[c]) {
+			t.Errorf("cluster %d: fitted dims %v, result dims %v", c, fc.Dims, res.Dims[c])
+		}
+		for t2, j := range fc.Dims {
+			if j != res.Dims[c][t2] {
+				t.Errorf("cluster %d: fitted dims %v != result dims %v", c, fc.Dims, res.Dims[c])
+				break
+			}
+			if got := fc.SHat[t2]; got != gt.Data.ColVariance(j) {
+				t.Errorf("cluster %d dim %d: ŝ² = %v, want global variance %v", c, j, got, gt.Data.ColVariance(j))
+			}
+		}
+	}
+}

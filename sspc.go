@@ -80,6 +80,16 @@
 // records the measured effect of changes to these paths in committed
 // BENCH_<n>.json baselines.
 //
+// # Serving fitted models
+//
+// A fitted result from SSPC, PROCLUS, or DOC carries its per-cluster
+// assignment rule (Result.Fitted); ModelFromResult freezes it, with its
+// provenance, into a versioned Model that Save/Load round-trip bit-exactly,
+// and NewAssigner (or Model.Assigner) answers Step-3 assignment queries
+// from it — allocation-free, concurrency-safe, and byte-identical to the
+// fit that produced it. cmd/sspcd serves the same path over HTTP. See
+// serving.go and ARCHITECTURE.md, "The serving layer".
+//
 // The subpackages under internal/ hold the implementations; this package is
 // the stable public surface.
 package sspc
