@@ -3,6 +3,7 @@ package sspc
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/copkmeans"
@@ -328,6 +329,62 @@ func BenchmarkClusterSharded(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { run(b, sd.Dataset()) })
 	}
+}
+
+// benchMmapDataset writes the benchmark ground truth to a temp .sspcb file
+// sharded 16 ways and reopens it mmap-backed — the disk storage tier under
+// the same shapes the in-memory benchmarks measure.
+func benchMmapDataset(b *testing.B, gt *GroundTruth) *Dataset {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.sspcb")
+	shardRows := (gt.Data.N() + 15) / 16
+	if _, err := WriteBinaryDataset(path, gt.Data, shardRows); err != nil {
+		b.Fatal(err)
+	}
+	fl, err := OpenBinaryDataset(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { fl.Close() })
+	return fl.Dataset()
+}
+
+// BenchmarkGatherRowsMmap is BenchmarkGatherRows' disk-tier leg: the same
+// scattered-member gather, but the shard blocks alias a read-only mmap of a
+// .sspcb file instead of heap slices. Zero allocs/op by the same contract
+// (TestGatherZeroAllocMmap); the delta against BenchmarkGatherRows/shards=16
+// is the page-cache cost of file-backed storage.
+func BenchmarkGatherRowsMmap(b *testing.B) {
+	gt := benchGroundTruth(b, 2000, 200, 5, 12)
+	members := gt.MembersOfClass(0)
+	dst := make([]float64, len(members)*gt.Data.D())
+	ds := benchMmapDataset(b, gt)
+	b.Run("shards=16", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ds.GatherRows(members, dst)
+		}
+	})
+}
+
+// BenchmarkClusterMmap is BenchmarkClusterSharded's disk-tier leg: one SSPC
+// restart at 8 workers over the mmap-backed dataset. The Result is
+// byte-identical to the flat and sharded legs (pinned by
+// TestConformanceDiskVsFlat); the comparison charts what clustering straight
+// off the file costs relative to heap-resident shards.
+func BenchmarkClusterMmap(b *testing.B) {
+	gt := benchGroundTruth(b, 2000, 200, 5, 12)
+	ds := benchMmapDataset(b, gt)
+	b.Run("shards=16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := DefaultOptions(5)
+			opts.Seed = 42
+			opts.Workers = 8
+			if _, err := Cluster(ds, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkExperimentsParallel measures harness scaling on a real figure

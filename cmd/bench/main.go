@@ -13,15 +13,21 @@
 //	    checks an existing baseline: valid JSON, the expected kernel
 //	    benchmark keys present, sane metric values — all problems are
 //	    collected and reported in one pass
-//	bench -diff [-threshold 0.1] [-report-only] BENCH_5.json BENCH_6.json
+//	bench -diff [-threshold 0.1] [-report-only] [-same-host] BENCH_5.json BENCH_6.json
 //	    compares two baselines key by key on ns/op with a relative noise
 //	    threshold (default ±10%), prints the per-key delta table, and exits
 //	    non-zero on any regression beyond the threshold unless -report-only
 //	    (flags after the paths are rescanned too, so the trailing order
-//	    also works despite the std flag package stopping at a positional)
+//	    also works despite the std flag package stopping at a positional).
+//	    Baselines record the host fingerprint (goos/goarch/cpu plus
+//	    GOMAXPROCS and NumCPU); when the two files disagree the diff warns
+//	    that it is comparing machines, not code, and -same-host turns that
+//	    warning into a hard error
 //
 // The default suite covers the columnar evaluation kernel and its feeder
-// (BenchmarkEvaluateColumnar, BenchmarkGatherRows), the cluster-chunked
+// (BenchmarkEvaluateColumnar, BenchmarkGatherRows), the disk storage tier
+// (BenchmarkGatherRowsMmap, BenchmarkClusterMmap — the same gather and
+// full-clustering shapes over an mmap-backed .sspcb file), the cluster-chunked
 // parallel evaluation path (BenchmarkEvaluateParallel), the chunked
 // COP-KMeans constrained-assignment pass
 // (BenchmarkConstrainedAssignChunked), the macro assignment/sharding
@@ -44,20 +50,22 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 )
 
 // defaultBench is the named benchmark suite a bare `bench` run executes.
-const defaultBench = "^(BenchmarkEvaluateColumnar|BenchmarkEvaluateParallel|BenchmarkGatherRows|BenchmarkAssignChunked|BenchmarkConstrainedAssignChunked|BenchmarkClusterSharded|BenchmarkServeAssign)$"
+const defaultBench = "^(BenchmarkEvaluateColumnar|BenchmarkEvaluateParallel|BenchmarkGatherRows|BenchmarkGatherRowsMmap|BenchmarkAssignChunked|BenchmarkConstrainedAssignChunked|BenchmarkClusterSharded|BenchmarkClusterMmap|BenchmarkServeAssign)$"
 
 // requiredKeys are the benchmark names (GOMAXPROCS suffix stripped) a valid
 // baseline must contain: the four EvaluateColumnar legs that compare the
 // gather kernel against the per-element At scan, the bulk accessor feeding
-// it, the worker sweeps of the cluster-chunked parallel evaluation path and
-// the chunked COP-KMeans constrained-assignment pass, and the serving hot
-// path's batch sweep (the Assigner behind cmd/sspcd's /assign).
+// it (in-memory and over the mmap-backed disk tier), the worker sweeps of
+// the cluster-chunked parallel evaluation path and the chunked COP-KMeans
+// constrained-assignment pass, the disk-tier clustering leg, and the serving
+// hot path's batch sweep (the Assigner behind cmd/sspcd's /assign).
 // The speedup report derives its key strings from this list — it is the one
 // authoritative copy of the names.
 var requiredKeys = []string{
@@ -75,6 +83,8 @@ var requiredKeys = []string{
 	"BenchmarkConstrainedAssignChunked/workers=8",
 	"BenchmarkGatherRows/flat",
 	"BenchmarkGatherRows/shards=16",
+	"BenchmarkGatherRowsMmap/shards=16",
+	"BenchmarkClusterMmap/shards=16",
 	"BenchmarkServeAssign/batch=1",
 	"BenchmarkServeAssign/batch=64",
 	"BenchmarkServeAssign/batch=1024",
@@ -90,7 +100,11 @@ type Metrics struct {
 	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
-// Baseline is the JSON document bench writes and verifies.
+// Baseline is the JSON document bench writes and verifies. GOMAXPROCS and
+// NumCPU identify the recording host's parallelism alongside the CPU model:
+// -diff compares these fields and warns (or, with -same-host, gates) when
+// two baselines were not recorded on equivalent hardware — the worker-sweep
+// ratios are meaningless across hosts.
 type Baseline struct {
 	Suite      string             `json:"suite"`
 	Benchtime  string             `json:"benchtime,omitempty"`
@@ -99,6 +113,8 @@ type Baseline struct {
 	GOOS       string             `json:"goos,omitempty"`
 	GOARCH     string             `json:"goarch,omitempty"`
 	CPU        string             `json:"cpu,omitempty"`
+	GOMAXPROCS int                `json:"gomaxprocs,omitempty"`
+	NumCPU     int                `json:"num_cpu,omitempty"`
 	Benchmarks map[string]Metrics `json:"benchmarks"`
 }
 
@@ -114,6 +130,7 @@ func main() {
 		diff       = flag.Bool("diff", false, "compare two baselines: bench -diff OLD NEW")
 		threshold  = flag.Float64("threshold", 0.10, "relative ns/op noise threshold for -diff (0.10 = ±10%)")
 		reportOnly = flag.Bool("report-only", false, "with -diff: print the delta table but never exit non-zero")
+		sameHost   = flag.Bool("same-host", false, "with -diff: require both baselines to come from the same host (goos/goarch/cpu/gomaxprocs/num_cpu); host drift becomes an error instead of a warning")
 	)
 	flag.Parse()
 
@@ -122,6 +139,27 @@ func main() {
 		if len(paths) != 2 {
 			fmt.Fprintf(os.Stderr, "bench: -diff needs exactly two baseline paths (OLD NEW), got %d\n", len(paths))
 			os.Exit(2)
+		}
+		oldBase, err := loadBaseline(paths[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: diff: %v\n", err)
+			os.Exit(1)
+		}
+		newBase, err := loadBaseline(paths[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: diff: %v\n", err)
+			os.Exit(1)
+		}
+		drift := hostFingerprintDiff(oldBase, newBase)
+		for _, line := range drift {
+			fmt.Fprintf(os.Stderr, "bench: host drift: %s\n", line)
+		}
+		if len(drift) > 0 && *sameHost {
+			fmt.Fprintf(os.Stderr, "bench: -same-host: baselines %s and %s were recorded on different hosts; their timings are not comparable\n", paths[0], paths[1])
+			os.Exit(1)
+		}
+		if len(drift) > 0 {
+			fmt.Fprintln(os.Stderr, "bench: warning: cross-host timings compare machines, not code; the delta table below is informational")
 		}
 		regressed, err := diffBaselines(os.Stdout, paths[0], paths[1], *threshold)
 		if err != nil {
@@ -226,7 +264,33 @@ func runSuite(dir, benchRe, benchtime string, count int) (*Baseline, error) {
 	base.Benchtime = benchtime
 	base.Count = count
 	base.GoVersion = strings.TrimPrefix(goVersion(), "go version ")
+	base.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	base.NumCPU = runtime.NumCPU()
 	return base, nil
+}
+
+// hostFingerprintDiff compares the host-identity fields of two baselines and
+// returns one human-readable line per differing field. A field that is unset
+// on either side (baselines recorded before the field existed) is skipped:
+// unknown is not drift.
+func hostFingerprintDiff(oldBase, newBase *Baseline) []string {
+	var drift []string
+	str := func(name, o, n string) {
+		if o != "" && n != "" && o != n {
+			drift = append(drift, fmt.Sprintf("%s: %q -> %q", name, o, n))
+		}
+	}
+	num := func(name string, o, n int) {
+		if o != 0 && n != 0 && o != n {
+			drift = append(drift, fmt.Sprintf("%s: %d -> %d", name, o, n))
+		}
+	}
+	str("goos", oldBase.GOOS, newBase.GOOS)
+	str("goarch", oldBase.GOARCH, newBase.GOARCH)
+	str("cpu", oldBase.CPU, newBase.CPU)
+	num("gomaxprocs", oldBase.GOMAXPROCS, newBase.GOMAXPROCS)
+	num("num_cpu", oldBase.NumCPU, newBase.NumCPU)
+	return drift
 }
 
 func goVersion() string {

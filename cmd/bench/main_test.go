@@ -312,6 +312,48 @@ func TestDiffBaselines(t *testing.T) {
 	}
 }
 
+// TestHostFingerprintDiff pins the -diff host-drift rules: every identity
+// field that differs is reported, fields that agree are silent, and a field
+// unset on either side (baselines recorded before GOMAXPROCS/NumCPU existed)
+// is skipped — unknown is not drift, so BENCH_8-era files diff cleanly
+// against newer ones from the same machine.
+func TestHostFingerprintDiff(t *testing.T) {
+	host := func() *Baseline {
+		return &Baseline{GOOS: "linux", GOARCH: "amd64", CPU: "Xeon", GOMAXPROCS: 8, NumCPU: 8}
+	}
+
+	if drift := hostFingerprintDiff(host(), host()); len(drift) != 0 {
+		t.Errorf("identical hosts reported drift: %v", drift)
+	}
+
+	other := host()
+	other.CPU = "EPYC"
+	other.GOMAXPROCS = 32
+	other.NumCPU = 64
+	drift := hostFingerprintDiff(host(), other)
+	if len(drift) != 3 {
+		t.Fatalf("3 differing fields, got %d: %v", len(drift), drift)
+	}
+	joined := strings.Join(drift, "\n")
+	for _, want := range []string{`cpu: "Xeon" -> "EPYC"`, "gomaxprocs: 8 -> 32", "num_cpu: 8 -> 64"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("drift report missing %q:\n%s", want, joined)
+		}
+	}
+
+	legacy := &Baseline{GOOS: "linux", GOARCH: "amd64", CPU: "Xeon"}
+	if drift := hostFingerprintDiff(legacy, host()); len(drift) != 0 {
+		t.Errorf("unset legacy fields reported as drift: %v", drift)
+	}
+
+	cross := host()
+	cross.GOOS = "darwin"
+	cross.GOARCH = "arm64"
+	if drift := hostFingerprintDiff(host(), cross); len(drift) != 2 {
+		t.Errorf("goos+goarch drift, got %v", drift)
+	}
+}
+
 func TestDeltaStatus(t *testing.T) {
 	cases := []struct {
 		delta, threshold float64

@@ -14,6 +14,15 @@
 //	sspc -in data.csv -k 3 -algo bicluster -delta 50
 //	sspc -in data.csv -k 5 -save fit.sspcm            # persist the fitted model
 //	sspc -in new.csv -load fit.sspcm                  # score rows, no refit
+//	sspc -data big.sspcb -k 5                         # mmap a binary dataset (out-of-core)
+//
+// -data opens a .sspcb binary dataset (see cmd/datagen -convert and
+// docs/DATASETS.md) instead of parsing CSV: the file is verified and mapped
+// read-only, so datasets larger than RAM cluster with peak heap near the
+// working set. Results are byte-identical to loading the same values flat.
+// -data excludes -in, -truth (the binary format carries no label column),
+// -normalize (the mapping is immutable; normalize before converting), and
+// -shards (the file fixes the shard granularity).
 //
 // The knowledge file has one entry per line:
 //
@@ -50,6 +59,7 @@ import (
 	"repro/internal/copkmeans"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/dataset/binfmt"
 	"repro/internal/doc"
 	"repro/internal/eval"
 	"repro/internal/harp"
@@ -60,7 +70,8 @@ import (
 
 func main() {
 	var (
-		in          = flag.String("in", "", "input CSV path (required)")
+		in          = flag.String("in", "", "input CSV path (this or -data required)")
+		data        = flag.String("data", "", "input binary dataset path (.sspcb), opened mmap-backed; excludes -in/-truth/-normalize/-shards")
 		header      = flag.Bool("header", false, "input has a header row")
 		truth       = flag.Bool("truth", false, "last CSV column is the true class label; report ARI")
 		algo        = flag.String("algo", "sspc", "algorithm: sspc | proclus | harp | clarans | doc | clique | copkmeans | seedkmeans | bicluster")
@@ -101,54 +112,79 @@ func main() {
 		return set
 	}
 
-	if *in == "" || (*k <= 0 && *load == "") {
+	if (*in == "") == (*data == "") || (*k <= 0 && *load == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*in)
-	if err != nil {
-		fail(err)
-	}
-	defer f.Close()
-
 	var ds *dataset.Dataset
 	var labels []int
-	if *truth {
-		ds, labels, err = dataset.ReadLabeledCSV(bufio.NewReader(f), *header)
-	} else {
-		ds, err = dataset.ReadCSV(bufio.NewReader(f), *header)
-	}
-	if err != nil {
-		fail(err)
-	}
-
-	switch *normalize {
-	case "none":
-	case "zscore":
-		ds, err = dataset.ZScoreNormalize(ds)
-	case "minmax":
-		ds, err = dataset.MinMaxNormalize(ds)
-	case "robust":
-		ds, err = dataset.RobustNormalize(ds)
-	default:
-		fail(fmt.Errorf("unknown normalization %q", *normalize))
-	}
-	if err != nil {
-		fail(err)
-	}
-
-	// Shard after normalization: the normalizers return flat datasets, and
-	// sharding is the last storage decision before clustering. (The pure
-	// streaming path — dataset.ReadCSVSharded — skips the flat intermediate
-	// entirely but needs a rows-per-shard budget instead of a shard count;
-	// see docs/DATASETS.md.)
-	if *shards > 0 {
-		sd, err := ds.Shards(*shards)
+	// contentHash, when non-empty, is the dataset fingerprint -save records;
+	// it comes from the binary header so the disk path never rescans the data.
+	var contentHash string
+	if *data != "" {
+		// Binary path: the file is verified and mapped read-only; every
+		// CSV-era preprocessing knob is a hard error rather than a silent
+		// no-op (normalize/shard before converting instead).
+		if *truth {
+			fail(fmt.Errorf("-data: the binary format carries no label column; -truth needs -in"))
+		}
+		if *normalize != "none" {
+			fail(fmt.Errorf("-data: the mapped dataset is immutable; normalize before converting (-normalize none only)"))
+		}
+		if *shards > 0 {
+			fail(fmt.Errorf("-data: the file fixes the shard granularity; -shards applies to -in only"))
+		}
+		fl, err := binfmt.OpenBinary(*data)
 		if err != nil {
 			fail(err)
 		}
-		ds = sd.Dataset()
+		defer fl.Close()
+		ds = fl.Dataset()
+		contentHash = fl.ContentHash()
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+
+		if *truth {
+			ds, labels, err = dataset.ReadLabeledCSV(bufio.NewReader(f), *header)
+		} else {
+			ds, err = dataset.ReadCSV(bufio.NewReader(f), *header)
+		}
+		if err != nil {
+			fail(err)
+		}
+
+		switch *normalize {
+		case "none":
+		case "zscore":
+			ds, err = dataset.ZScoreNormalize(ds)
+		case "minmax":
+			ds, err = dataset.MinMaxNormalize(ds)
+		case "robust":
+			ds, err = dataset.RobustNormalize(ds)
+		default:
+			fail(fmt.Errorf("unknown normalization %q", *normalize))
+		}
+		if err != nil {
+			fail(err)
+		}
+
+		// Shard after normalization: the normalizers return flat datasets, and
+		// sharding is the last storage decision before clustering. (The pure
+		// streaming path — dataset.ReadCSVSharded — skips the flat intermediate
+		// entirely but needs a rows-per-shard budget instead of a shard count;
+		// see docs/DATASETS.md.)
+		if *shards > 0 {
+			sd, err := ds.Shards(*shards)
+			if err != nil {
+				fail(err)
+			}
+			ds = sd.Dataset()
+		}
 	}
 
 	// Serving path: a saved model replaces the fit entirely — decode it,
@@ -191,6 +227,7 @@ func main() {
 		}
 	}
 
+	var err error
 	var res *cluster.Result
 	var report *core.KnowledgeReport
 	switch *algo {
@@ -353,7 +390,14 @@ func main() {
 		}
 		fp := fmt.Sprintf("algo=%s k=%d scheme=%s m=%v p=%v l=%d w=%v restarts=%d earlystop=%d normalize=%s",
 			*algo, *k, *scheme, *m, *p, *l, *w, *restarts, *earlyStop, *normalize)
-		mdl, err := model.FromResult(*algo, fp, *seed, model.DatasetHash(ds), ds.D(), res)
+		// Binary inputs carry their fingerprint in the verified header
+		// (shard-layout-invariant payload checksum) — no full rescan; CSV
+		// inputs hash the in-memory matrix as before.
+		hash := contentHash
+		if hash == "" {
+			hash = model.DatasetHash(ds)
+		}
+		mdl, err := model.FromResult(*algo, fp, *seed, hash, ds.D(), res)
 		if err != nil {
 			fail(err)
 		}

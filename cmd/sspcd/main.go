@@ -13,10 +13,14 @@
 //
 //	GET  /healthz            liveness probe
 //	POST /fit                submit an async fit job (JSON body: algo, k,
-//	                         rows or csv, algorithm parameters, seed);
+//	                         rows, csv, or data_file — a .sspcb binary
+//	                         dataset path opened mmap-backed on the daemon's
+//	                         host — plus algorithm parameters and seed);
 //	                         answers with a job to poll. A registry hit on
 //	                         (dataset hash, algo, options, seed) returns a
-//	                         done job immediately instead of refitting.
+//	                         done job immediately instead of refitting; for
+//	                         data_file the hash is the file's verified header
+//	                         checksum, so no full scan is paid.
 //	GET  /jobs/{id}          poll a fit job: state, progress (iterations and
 //	                         best objective, via core.Trace), model key
 //	GET  /models             list registered models

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/dataset/binfmt"
 	"repro/internal/doc"
 	"repro/internal/model"
 	"repro/internal/proclus"
@@ -45,15 +46,21 @@ type job struct {
 	Cached bool `json:"cached,omitempty"`
 }
 
-// fitRequest is the POST /fit body. Exactly one of Rows and CSV supplies the
-// dataset. Workers tunes wall-clock only and is excluded from the model
-// identity; every other field participates in the registry key.
+// fitRequest is the POST /fit body. Exactly one of Rows, CSV and DataFile
+// supplies the dataset. Workers tunes wall-clock only and is excluded from
+// the model identity; every other field participates in the registry key.
 type fitRequest struct {
 	Algo string `json:"algo"` // "sspc" | "proclus" | "doc"
 	K    int    `json:"k"`
 
 	Rows [][]float64 `json:"rows,omitempty"`
 	CSV  string      `json:"csv,omitempty"`
+	// DataFile names a .sspcb binary dataset on the daemon's filesystem,
+	// opened mmap-backed — the daemon can fit datasets it could never hold
+	// flat, and the registry dataset-hash comes from the file's verified
+	// header checksum instead of a full scan. Normalize must be absent or
+	// "none" (the mapping is immutable; normalize before converting).
+	DataFile string `json:"data_file,omitempty"`
 
 	Normalize string `json:"normalize,omitempty"` // "" | "none" | "zscore" | "minmax" | "robust"
 
@@ -181,23 +188,39 @@ func (r *fitRequest) fingerprint() string {
 	return "algo=" + r.Algo
 }
 
-// dataset materializes the request's data (inline rows or CSV text) and
-// applies the requested normalization.
-func (r *fitRequest) dataset() (*dataset.Dataset, error) {
-	var ds *dataset.Dataset
-	var err error
-	switch {
-	case len(r.Rows) > 0 && r.CSV != "":
-		return nil, fmt.Errorf("supply rows or csv, not both")
-	case len(r.Rows) > 0:
+// dataset materializes the request's data (inline rows, CSV text, or an
+// mmap-backed binary file) and applies the requested normalization. It also
+// returns the dataset's registry hash — a full-matrix scan for in-memory
+// sources, the verified header fingerprint for binary files — and, for
+// file-backed datasets, a close function the caller must run when the fit is
+// finished with the data (nil otherwise).
+func (r *fitRequest) dataset() (ds *dataset.Dataset, hash string, closer func() error, err error) {
+	sources := 0
+	for _, present := range []bool{len(r.Rows) > 0, r.CSV != "", r.DataFile != ""} {
+		if present {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, "", nil, fmt.Errorf("supply exactly one of rows, csv, data_file")
+	}
+	if r.DataFile != "" {
+		if r.Normalize != "" && r.Normalize != "none" {
+			return nil, "", nil, fmt.Errorf("data_file: the mapped dataset is immutable; normalize before converting")
+		}
+		fl, err := binfmt.OpenBinary(r.DataFile)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return fl.Dataset(), fl.ContentHash(), fl.Close, nil
+	}
+	if len(r.Rows) > 0 {
 		ds, err = dataset.FromRows(r.Rows)
-	case r.CSV != "":
+	} else {
 		ds, err = dataset.ReadCSV(strings.NewReader(r.CSV), false)
-	default:
-		return nil, fmt.Errorf("no dataset: supply rows or csv")
 	}
 	if err != nil {
-		return nil, err
+		return nil, "", nil, err
 	}
 	switch r.Normalize {
 	case "", "none":
@@ -208,9 +231,12 @@ func (r *fitRequest) dataset() (*dataset.Dataset, error) {
 	case "robust":
 		ds, err = dataset.RobustNormalize(ds)
 	default:
-		return nil, fmt.Errorf("unknown normalization %q", r.Normalize)
+		return nil, "", nil, fmt.Errorf("unknown normalization %q", r.Normalize)
 	}
-	return ds, err
+	if err != nil {
+		return nil, "", nil, err
+	}
+	return ds, model.DatasetHash(ds), nil, nil
 }
 
 // run executes the fit described by the request. Only the three algorithms
@@ -260,12 +286,11 @@ func (s *server) handleFit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "fit request: %v", err)
 		return
 	}
-	ds, err := req.dataset()
+	ds, hash, closeDS, err := req.dataset()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "fit request: %v", err)
 		return
 	}
-	hash := model.DatasetHash(ds)
 	key := model.Key(hash, req.Algo, req.fingerprint(), req.Seed)
 
 	s.mu.Lock()
@@ -280,6 +305,9 @@ func (s *server) handleFit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[j.ID] = j
 	s.mu.Unlock()
 
+	if cached && closeDS != nil {
+		closeDS()
+	}
 	if !cached {
 		trace := &core.Trace{OnIteration: func(st core.IterationStats) {
 			s.mu.Lock()
@@ -295,6 +323,9 @@ func (s *server) handleFit(w http.ResponseWriter, r *http.Request) {
 		s.fits.Add(1)
 		go func() {
 			defer s.fits.Done()
+			if closeDS != nil {
+				defer closeDS()
+			}
 			res, err := req.run(ds, trace)
 			var m *model.Model
 			if err == nil {

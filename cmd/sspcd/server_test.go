@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dataset/binfmt"
 	"repro/internal/model"
 	"repro/internal/synth"
 )
@@ -235,6 +238,73 @@ func TestFitPollAssignAndCache(t *testing.T) {
 	decodeJSON(t, resp, &got)
 	if len(got["assignments"]) != len(rows) {
 		t.Fatalf("%d assignments for %d rows", len(got["assignments"]), len(rows))
+	}
+}
+
+// TestFitDataFile covers the out-of-core fit path: the dataset arrives as a
+// .sspcb file path instead of inline rows, the registry hash comes from the
+// file's header fingerprint, and — because that fingerprint is invariant
+// under re-sharding — a re-fit from a differently-sharded copy of the same
+// data is a cache hit.
+func TestFitDataFile(t *testing.T) {
+	_, ts := testServer(t)
+	_, rows, _ := fitAndModel(t)
+	ds, err := dataset.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "train.sspcb")
+	if _, err := binfmt.WriteBinaryFile(path, ds, 32); err != nil {
+		t.Fatal(err)
+	}
+
+	req := fitRequest{Algo: "sspc", K: 2, DataFile: path, Seed: 9}
+	resp := postJSON(t, ts.URL+"/fit", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fit status %d", resp.StatusCode)
+	}
+	var j job
+	decodeJSON(t, resp, &j)
+	done := pollJob(t, ts.URL, j.ID)
+	if done.State != "done" || done.Model == "" {
+		t.Fatalf("data_file job = %+v", done)
+	}
+
+	// Same data re-sharded under a different name: identical registry key,
+	// answered from cache without reopening a fit.
+	reshard := filepath.Join(dir, "train-resharded.sspcb")
+	if _, err := binfmt.WriteBinaryFile(reshard, ds, 7); err != nil {
+		t.Fatal(err)
+	}
+	req.DataFile = reshard
+	resp = postJSON(t, ts.URL+"/fit", req)
+	var j2 job
+	decodeJSON(t, resp, &j2)
+	if !j2.Cached || j2.State != "done" || j2.Model != done.Model {
+		t.Fatalf("re-sharded fit not served from cache: %+v", j2)
+	}
+
+	// An inline-rows fit of the same matrix is a distinct identity: the
+	// in-memory hash is a full scan, the file hash is the header checksum.
+	resp = postJSON(t, ts.URL+"/assign", assignRequest{Model: done.Model, Rows: rows})
+	var got map[string][]int
+	decodeJSON(t, resp, &got)
+	if len(got["assignments"]) != len(rows) {
+		t.Fatalf("%d assignments for %d rows", len(got["assignments"]), len(rows))
+	}
+
+	for name, bad := range map[string]fitRequest{
+		"data_file plus csv":       {Algo: "sspc", K: 2, DataFile: path, CSV: "1,2\n", Seed: 9},
+		"data_file plus rows":      {Algo: "sspc", K: 2, DataFile: path, Rows: rows, Seed: 9},
+		"data_file plus normalize": {Algo: "sspc", K: 2, DataFile: path, Normalize: "zscore", Seed: 9},
+		"data_file missing":        {Algo: "sspc", K: 2, DataFile: filepath.Join(dir, "nope.sspcb"), Seed: 9},
+	} {
+		resp := postJSON(t, ts.URL+"/fit", bad)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
 	}
 }
 

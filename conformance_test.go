@@ -1,6 +1,8 @@
 package sspc
 
 import (
+	"fmt"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
@@ -37,6 +39,12 @@ import (
 //     and above K — the straddle that routes every evaluation-chunking
 //     branch (single-chunk short-circuit, partial slot reuse, more workers
 //     than clusters).
+//  9. Disk-vs-flat invariance: a dataset round-tripped through the .sspcb
+//     binary format and reopened mmap-backed (read-only shards aliasing the
+//     file pages) reproduces the flat Result byte for byte at every
+//     (shardRows, workers, chunk) combination, and single-restart mmap runs
+//     still hit the golden pins — the out-of-core tier is a storage
+//     decision, never a semantic one.
 
 // confRun carries the engine knobs a conformance driver forwards.
 type confRun struct {
@@ -397,6 +405,73 @@ func TestConformanceShardedVsFlat(t *testing.T) {
 						if !reflect.DeepEqual(flat, sharded) {
 							t.Errorf("shards=%d workers=%d chunk=%d diverged from flat:\n  flat:    %s\n  sharded: %s",
 								shards, workers, chunk, fingerprint(flat), fingerprint(sharded))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceDiskVsFlat is the out-of-core storage-invariance leg (leg
+// 9): the fixture is written to a .sspcb binary file at several shard
+// granularities and reopened through the full disk path — header and extent
+// verification, checksum checks, mmap, read-only shard blocks aliasing the
+// mapped pages — and every algorithm must return a Result byte-identical to
+// the flat original for every (shardRows, workers, chunk) combination, with
+// the single-restart mmap run still reproducing the pre-engine golden pin.
+// Together with the typed-error tests in internal/dataset/binfmt this is the
+// disk tier's whole contract: verified bytes behave exactly like RAM, and
+// unverifiable bytes never produce clusters at all.
+func TestConformanceDiskVsFlat(t *testing.T) {
+	gt := detFixture(t)
+	n := gt.Data.N()
+	shardRowsList := []int{n, (n + 2) / 3, (n + 6) / 7} // same boundaries as the sharded leg's k = 1, 3, 7
+	workerCounts := []int{1, 8}
+	chunkSizes := []int{0, 7}
+
+	dir := t.TempDir()
+	diskData := make([]*Dataset, len(shardRowsList))
+	for i, shardRows := range shardRowsList {
+		path := filepath.Join(dir, fmt.Sprintf("fixture-%d.sspcb", shardRows))
+		if _, err := WriteBinaryDataset(path, gt.Data, shardRows); err != nil {
+			t.Fatal(err)
+		}
+		fl, err := OpenBinaryDataset(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fl.Close() })
+		diskData[i] = fl.Dataset()
+	}
+
+	for _, a := range conformanceAlgos() {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			for i, shardRows := range shardRowsList {
+				res, err := a.run(diskData[i], confRun{seed: a.goldenSeed, restarts: 1, workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := fingerprint(res); got != a.golden {
+					t.Errorf("shardRows=%d: fingerprint = %s, want %s", shardRows, got, a.golden)
+				}
+			}
+			for _, workers := range workerCounts {
+				for _, chunk := range chunkSizes {
+					r := confRun{seed: 3, restarts: a.restarts, workers: workers, chunkSize: chunk}
+					flat, err := a.run(gt.Data, r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, shardRows := range shardRowsList {
+						disk, err := a.run(diskData[i], r)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(flat, disk) {
+							t.Errorf("shardRows=%d workers=%d chunk=%d diverged from flat:\n  flat: %s\n  mmap: %s",
+								shardRows, workers, chunk, fingerprint(flat), fingerprint(disk))
 						}
 					}
 				}

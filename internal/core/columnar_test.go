@@ -3,21 +3,33 @@ package core
 import (
 	"fmt"
 	"math"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/dataset/binfmt"
 	"repro/internal/synth"
 )
 
-// storageVariants returns the same matrix flat and shard-backed, so every
-// kernel test runs against both layouts.
+// storageVariants returns the same matrix flat, shard-backed, and mmap-backed
+// (written to a binary file and reopened), so every kernel test runs against
+// all three storage tiers.
 func storageVariants(t *testing.T, ds *dataset.Dataset, shards int) map[string]*dataset.Dataset {
 	t.Helper()
 	sd, err := ds.Shards(shards)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return map[string]*dataset.Dataset{"flat": ds, "sharded": sd.Dataset()}
+	path := filepath.Join(t.TempDir(), "variant.sspcb")
+	if _, err := binfmt.WriteBinaryFile(path, ds, sd.ShardRows()); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := binfmt.OpenBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fl.Close() })
+	return map[string]*dataset.Dataset{"flat": ds, "sharded": sd.Dataset(), "mmap": fl.Dataset()}
 }
 
 // TestColumnarMatchesReference is the executable form of the kernel's

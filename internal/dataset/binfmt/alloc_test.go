@@ -1,0 +1,73 @@
+package binfmt
+
+import (
+	"testing"
+)
+
+// mmapGatherFixture opens a 64×8 dataset through the full disk path.
+func mmapGatherFixture(t *testing.T) *File {
+	t.Helper()
+	return openTemp(t, writeTemp(t, testDataset(t, 64, 8), 13))
+}
+
+// TestGatherMatchesAtMmap checks the bulk accessors against At on the
+// mmap-backed storage tier for the member-list shapes the algorithms
+// produce, mirroring the dataset package's flat/sharded coverage.
+func TestGatherMatchesAtMmap(t *testing.T) {
+	fl := mmapGatherFixture(t)
+	ds := fl.Dataset()
+	n, d := ds.N(), ds.D()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	patterns := map[string][]int{
+		"empty":      {},
+		"singleton":  {n / 2},
+		"boundaries": {12, 13, 14, 25, 26, 27}, // straddle shard edges (shardRows=13)
+		"run":        all[n/4 : 3*n/4],
+		"all":        all,
+		"unsorted":   {40, 3, 63, 0, 13},
+		"repeats":    {2, 2, 5, 5, 5, n - 1, 0},
+	}
+	for name, members := range patterns {
+		rowDst := make([]float64, len(members)*d)
+		got := ds.GatherRows(members, rowDst)
+		for t2, i := range members {
+			for j := 0; j < d; j++ {
+				if got[t2*d+j] != ds.At(i, j) {
+					t.Fatalf("%s: GatherRows row %d dim %d = %v, want %v", name, i, j, got[t2*d+j], ds.At(i, j))
+				}
+			}
+		}
+		colDst := make([]float64, len(members))
+		gotCol := ds.GatherColumn(members, d/2, colDst)
+		for t2, i := range members {
+			if gotCol[t2] != ds.At(i, d/2) {
+				t.Fatalf("%s: GatherColumn member %d = %v, want %v", name, i, gotCol[t2], ds.At(i, d/2))
+			}
+		}
+	}
+}
+
+// TestGatherZeroAllocMmap extends the gather allocation contract to the disk
+// tier: with a pre-sized dst the bulk accessors never allocate on
+// mmap-backed storage either.
+func TestGatherZeroAllocMmap(t *testing.T) {
+	fl := mmapGatherFixture(t)
+	ds := fl.Dataset()
+	d := ds.D()
+	members := []int{0, 3, 4, 5, 17, 31, 32, 63}
+	rowDst := make([]float64, len(members)*d)
+	colDst := make([]float64, len(members))
+	if allocs := testing.AllocsPerRun(100, func() {
+		ds.GatherRows(members, rowDst)
+	}); allocs != 0 {
+		t.Errorf("mmap: GatherRows allocs/op = %v, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		ds.GatherColumn(members, d/2, colDst)
+	}); allocs != 0 {
+		t.Errorf("mmap: GatherColumn allocs/op = %v, want 0", allocs)
+	}
+}

@@ -1,0 +1,82 @@
+package binfmt
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// fuzzSeed encodes a small dataset to canonical bytes for the corpus.
+func fuzzSeed(rows [][]float64, shardRows int) []byte {
+	ds, err := dataset.FromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteBinary(&buf, ds, shardRows); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzOpenBinary throws arbitrary bytes at the full open path — header and
+// extent decoding, mapping, every verification layer — and holds it to the
+// reader's contract: it must never panic, and when it does accept a file the
+// file must be exactly a canonical encoding, i.e. re-encoding the decoded
+// dataset at the declared shard granularity reproduces the input bytes and
+// every decoded value is finite.
+func FuzzOpenBinary(f *testing.F) {
+	seeds := [][]byte{
+		fuzzSeed([][]float64{{1.5, -2.25}, {0, 3e7}, {-0.5, 0.125}}, 2),
+		fuzzSeed([][]float64{{42}}, 1),
+		fuzzSeed([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {10, 11, 12}}, 3),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+		f.Add(s[:len(s)/2])                            // truncation
+		f.Add(append(append([]byte(nil), s...), 0x00)) // trailing byte
+		mut := append([]byte(nil), s...)
+		mut[len(mut)-3] ^= 0x10 // payload flip
+		f.Add(mut)
+	}
+	f.Add([]byte(Magic))
+	f.Add([]byte("not a dataset"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.sspcb")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fl, err := OpenBinary(path)
+		if err != nil {
+			if fl != nil {
+				t.Fatal("OpenBinary returned both a file and an error")
+			}
+			return
+		}
+		defer fl.Close()
+		ds := fl.Dataset()
+		if ds.N() != fl.N() || ds.D() != fl.D() {
+			t.Fatalf("dataset shape %dx%d disagrees with file %dx%d", ds.N(), ds.D(), fl.N(), fl.D())
+		}
+		for i := 0; i < ds.N(); i++ {
+			for _, v := range ds.Row(i) {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted file yielded non-finite value in row %d", i)
+				}
+			}
+		}
+		var re bytes.Buffer
+		if _, err := WriteBinary(&re, ds, fl.ShardRows()); err != nil {
+			t.Fatalf("re-encode of accepted file failed: %v", err)
+		}
+		if !bytes.Equal(re.Bytes(), data) {
+			t.Fatal("accepted file is not a canonical encoding (re-encode differs)")
+		}
+	})
+}

@@ -1,0 +1,22 @@
+//go:build !linux && !darwin
+
+package binfmt
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads the whole file into the heap on platforms without the mmap
+// shim and reports mapped=false. Values and behavior are identical to the
+// mapped path; only the out-of-core memory profile is lost.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), b); err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+// unmapFile is a no-op for heap-backed data.
+func unmapFile(data []byte) error { return nil }

@@ -41,6 +41,11 @@ type Dataset struct {
 	// on demand by ensureStats.
 	partials []shardPartial
 
+	// readOnly marks storage that must never be written: shard blocks that
+	// alias a read-only file mapping (binfmt.OpenBinary), where a store
+	// would fault the process. Set panics instead of faulting.
+	readOnly bool
+
 	// Lazily computed per-dimension statistics over all n objects, published
 	// as one immutable snapshot so concurrent readers never observe a
 	// half-built cache. These approximate the paper's global populations:
@@ -105,8 +110,12 @@ func (ds *Dataset) At(i, j int) float64 {
 // Set assigns the value of object i on dimension j and invalidates the
 // cached column statistics (including any per-shard partials). Set must not
 // be called while other goroutines read the dataset (mutate first, then
-// cluster).
+// cluster). Set panics on a read-only dataset (storage aliasing a read-only
+// file mapping); Clone first to get a writable copy.
 func (ds *Dataset) Set(i, j int, v float64) {
+	if ds.readOnly {
+		panic("dataset: Set on a read-only dataset (storage aliases a read-only mapping; Clone to mutate)")
+	}
 	if ds.data != nil {
 		ds.data[i*ds.d+j] = v
 	} else {
@@ -360,7 +369,9 @@ func (ds *Dataset) MeanVector(objs []int) []float64 {
 
 // Clone returns a deep copy of the dataset, preserving the storage layout
 // (flat stays flat, shard-backed stays shard-backed with the same shard
-// boundaries and stat partials). The statistics snapshot is not copied.
+// boundaries and stat partials). The statistics snapshot is not copied. The
+// copy is always writable: cloning a read-only dataset moves the values onto
+// the heap, so the read-only marker does not carry over.
 func (ds *Dataset) Clone() *Dataset {
 	out := &Dataset{n: ds.n, d: ds.d, shardRows: ds.shardRows}
 	if ds.data != nil {

@@ -1,0 +1,114 @@
+package sspc
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOutOfCorePeakMemory is the executable form of the out-of-core promise
+// (ROADMAP item 2): clustering an mmap-backed dataset keeps peak heap near
+// the gathered working set, not the matrix. The test builds a matrix ~4× a
+// constrained heap budget, pushes it out of the heap entirely — synthesize,
+// spill to CSV, release, stream-convert to binary (O(d) converter memory),
+// reopen mapped — and then clusters it while sampling runtime.MemStats. The
+// heap growth over the post-conversion baseline must stay under a quarter of
+// the matrix size: the matrix lives in file-backed pages the kernel may
+// evict, never on the Go heap.
+func TestOutOfCorePeakMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory-profile test skipped in -short mode")
+	}
+	const n, d = 60000, 32
+	const matrixBytes = n * d * 8
+	const budget = matrixBytes / 4
+
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "big.csv")
+	binPath := filepath.Join(dir, "big.sspcb")
+	func() {
+		gt, err := Generate(SynthConfig{N: n, D: d, K: 6, AvgDims: 8, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(csvPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := WriteCSV(f, gt.Data, nil); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	// Keep the collector tight for the measured region so HeapAlloc tracks
+	// live bytes instead of floating up to the default 2× growth target.
+	defer debug.SetGCPercent(debug.SetGCPercent(20))
+
+	if _, err := ConvertCSVToBinary(binPath, []string{csvPath}, ConvertCSVOptions{ShardRows: 4096}); err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	baseline := ms.HeapAlloc
+
+	// Sample the heap high-water mark while the disk-backed clustering runs.
+	peak := baseline
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var s runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				runtime.ReadMemStats(&s)
+				if s.HeapAlloc > peak {
+					peak = s.HeapAlloc
+				}
+			}
+		}
+	}()
+
+	fl, err := OpenBinaryDataset(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	opts := SeedKMeansDefaults(6)
+	opts.Seed = 1
+	opts.Restarts = 1
+	opts.Workers = 1
+	opts.MaxIterations = 5
+	res, err := SeedKMeans(fl.Dataset(), nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != n {
+		t.Fatalf("clustered %d of %d objects", len(res.Assignments), n)
+	}
+
+	close(stop)
+	wg.Wait()
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peak {
+		peak = ms.HeapAlloc
+	}
+
+	growth := peak - baseline
+	t.Logf("matrix %d B, baseline heap %d B, peak heap %d B, growth %d B (budget %d B)",
+		matrixBytes, baseline, peak, growth, uint64(budget))
+	if growth > budget {
+		t.Errorf("heap grew %d bytes clustering an mmap-backed %d-byte matrix; budget is %d (matrix/4) — the disk tier is leaking the matrix onto the heap",
+			growth, matrixBytes, budget)
+	}
+}

@@ -71,6 +71,14 @@
 // align one chunk per shard so each worker scans only its own shard's
 // memory.
 //
+// For datasets larger than RAM there is a third storage tier: the .sspcb
+// binary format (WriteBinaryDataset, ConvertCSVToBinary) stores the shard
+// layout on disk with checksums and per-shard stat partials, and
+// OpenBinaryDataset maps it read-only so the shards alias the file's pages —
+// the algorithms run unmodified with peak heap near the gathered working
+// set, and the disk-tier conformance leg pins the results byte-identical to
+// flat. See docs/DATASETS.md, "The binary dataset format".
+//
 // Hot loops never read the matrix element-wise: Dataset.GatherRows and
 // Dataset.GatherColumn bulk-copy a subset of rows (or one dimension of
 // them) into caller scratch with per-shard copy ranges, and SSPC's
@@ -101,6 +109,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/dataset/binfmt"
 	"repro/internal/doc"
 	"repro/internal/eval"
 	"repro/internal/harp"
@@ -166,6 +175,53 @@ func ReadCSVSharded(r io.Reader, header bool, opts ShardedReadOptions) (*Sharded
 // row) is appended as a final integer column.
 func WriteCSV(w io.Writer, ds *Dataset, labels []int) error {
 	return dataset.WriteCSV(w, ds, labels)
+}
+
+// BinaryDatasetFile is an opened .sspcb binary dataset: a versioned,
+// checksummed on-disk shard layout whose shards alias the mapped file pages
+// (mmap, read-only), so algorithms cluster datasets larger than RAM through
+// the ordinary accessor seam. Obtain with OpenBinaryDataset; Close releases
+// the mapping. See docs/DATASETS.md for the format.
+type BinaryDatasetFile = binfmt.File
+
+// BinaryDatasetInfo summarizes a written or opened binary dataset file.
+type BinaryDatasetInfo = binfmt.Info
+
+// ConvertCSVOptions configures ConvertCSVToBinary: the output shard
+// granularity, whether the first segment opens with a header record, and an
+// optional progress callback.
+type ConvertCSVOptions = binfmt.ConvertOptions
+
+// Typed binary-dataset errors, re-exported for errors.Is matching without
+// importing the internal package. OpenBinaryDataset never returns a dataset
+// built from bytes that fail verification — corrupted, truncated, or
+// version-skewed files yield exactly these errors.
+var (
+	ErrBinaryBadMagic  = binfmt.ErrBadMagic
+	ErrBinaryVersion   = binfmt.ErrVersion
+	ErrBinaryTruncated = binfmt.ErrTruncated
+	ErrBinaryChecksum  = binfmt.ErrChecksum
+	ErrBinaryFormat    = binfmt.ErrFormat
+)
+
+// OpenBinaryDataset opens, maps, and fully verifies a binary dataset file
+// (checksums, extents, stat partials, finiteness). The returned file's
+// Dataset() is read-only and valid until Close.
+func OpenBinaryDataset(path string) (*BinaryDatasetFile, error) { return binfmt.OpenBinary(path) }
+
+// WriteBinaryDataset writes ds to path in the binary dataset format at the
+// given shard granularity, atomically. The bytes depend only on the values
+// and shardRows, never on ds's own storage layout.
+func WriteBinaryDataset(path string, ds *Dataset, shardRows int) (BinaryDatasetInfo, error) {
+	return binfmt.WriteBinaryFile(path, ds, shardRows)
+}
+
+// ConvertCSVToBinary streams pre-split CSV segments (one logical CSV, in
+// order) into a binary dataset file, parsing segments concurrently and
+// re-chunking rows into shards independently of the segment boundaries; the
+// output is byte-identical to WriteBinaryDataset over the same matrix.
+func ConvertCSVToBinary(out string, segments []string, opts ConvertCSVOptions) (BinaryDatasetInfo, error) {
+	return binfmt.ConvertCSV(out, segments, opts)
 }
 
 // NewKnowledge returns an empty knowledge set; add labels with LabelObject
