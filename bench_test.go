@@ -1,6 +1,7 @@
 package sspc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -727,4 +728,38 @@ func BenchmarkValidateKnowledge(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkClusterCtxOverhead charts the cost of the context seam: the same
+// single-restart SSPC fit through the legacy Cluster signature (which
+// delegates with context.Background) and through ClusterContext under a live
+// background context. The cancellation gates are a nil-check and one atomic
+// fault-registry load per chunk and iteration boundary, so the two legs must
+// stay within noise of each other — the BENCH_9 → BENCH_10 diff pins that
+// the robustness layer costs nothing when unused.
+func BenchmarkClusterCtxOverhead(b *testing.B) {
+	gt := benchGroundTruth(b, 800, 60, 3, 8)
+	fit := func(ctx context.Context) (*Result, error) {
+		opts := DefaultOptions(3)
+		opts.Seed = 42
+		if ctx == nil {
+			return Cluster(gt.Data, opts)
+		}
+		return ClusterContext(ctx, gt.Data, opts)
+	}
+	b.Run("run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fit(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ctx", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if _, err := fit(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -57,7 +57,7 @@ import (
 )
 
 // defaultBench is the named benchmark suite a bare `bench` run executes.
-const defaultBench = "^(BenchmarkEvaluateColumnar|BenchmarkEvaluateParallel|BenchmarkGatherRows|BenchmarkGatherRowsMmap|BenchmarkAssignChunked|BenchmarkConstrainedAssignChunked|BenchmarkClusterSharded|BenchmarkClusterMmap|BenchmarkServeAssign)$"
+const defaultBench = "^(BenchmarkEvaluateColumnar|BenchmarkEvaluateParallel|BenchmarkGatherRows|BenchmarkGatherRowsMmap|BenchmarkAssignChunked|BenchmarkConstrainedAssignChunked|BenchmarkClusterSharded|BenchmarkClusterMmap|BenchmarkClusterCtxOverhead|BenchmarkServeAssign)$"
 
 // requiredKeys are the benchmark names (GOMAXPROCS suffix stripped) a valid
 // baseline must contain: the four EvaluateColumnar legs that compare the
@@ -85,6 +85,8 @@ var requiredKeys = []string{
 	"BenchmarkGatherRows/shards=16",
 	"BenchmarkGatherRowsMmap/shards=16",
 	"BenchmarkClusterMmap/shards=16",
+	"BenchmarkClusterCtxOverhead/run",
+	"BenchmarkClusterCtxOverhead/ctx",
 	"BenchmarkServeAssign/batch=1",
 	"BenchmarkServeAssign/batch=64",
 	"BenchmarkServeAssign/batch=1024",

@@ -15,6 +15,7 @@
 //	sspc -in data.csv -k 5 -save fit.sspcm            # persist the fitted model
 //	sspc -in new.csv -load fit.sspcm                  # score rows, no refit
 //	sspc -data big.sspcb -k 5                         # mmap a binary dataset (out-of-core)
+//	sspc -in data.csv -k 5 -timeout 5m                # bound the fit with a deadline
 //
 // -data opens a .sspcb binary dataset (see cmd/datagen -convert and
 // docs/DATASETS.md) instead of parsing CSV: the file is verified and mapped
@@ -48,6 +49,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -98,6 +100,7 @@ func main() {
 		validate    = flag.Bool("validate", false, "validate knowledge and drop suspect entries before clustering (SSPC only)")
 		quiet       = flag.Bool("quiet", false, "suppress per-object assignments")
 		save        = flag.String("save", "", "after fitting, write the model (per-cluster dims/rep/ŝ² triples) to this file; sspc, proclus and doc only")
+		timeout     = flag.Duration("timeout", 0, "abort the fit after this long (e.g. 30s, 5m) with a deadline error; cancellation is observed at restart, iteration, and chunk boundaries. 0 = no deadline")
 		load        = flag.String("load", "", "skip fitting: load a saved model file and assign the input rows with it (-k not required)")
 	)
 	flag.Parse()
@@ -227,6 +230,17 @@ func main() {
 		}
 	}
 
+	// -timeout bounds the fit through the shared cancellation contract: the
+	// deadline is observed at restart launches, iteration boundaries, and
+	// chunk boundaries, and an expired fit exits with a deadline error
+	// instead of a partial result.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var err error
 	var res *cluster.Result
 	var report *core.KnowledgeReport
@@ -252,9 +266,9 @@ func main() {
 			opts.Knowledge = kn
 		}
 		if *validate {
-			res, report, err = core.RunValidated(ds, opts, 0)
+			res, report, err = core.RunValidatedContext(ctx, ds, opts, 0)
 		} else {
-			res, err = core.Run(ds, opts)
+			res, err = core.RunContext(ctx, ds, opts)
 		}
 	case "proclus":
 		if *l < 2 {
@@ -266,7 +280,7 @@ func main() {
 		opts.Workers = *workers
 		opts.EarlyStop = *earlyStop
 		opts.ChunkSize = *chunk
-		res, err = proclus.Run(ds, opts)
+		res, err = proclus.RunContext(ctx, ds, opts)
 	case "harp":
 		opts := harp.DefaultOptions(*k)
 		opts.Restarts = *restarts
@@ -280,14 +294,14 @@ func main() {
 		if seedFlagSet() {
 			opts.Seed = *seed
 		}
-		res, err = harp.Run(ds, opts)
+		res, err = harp.RunContext(ctx, ds, opts)
 	case "clarans":
 		opts := clarans.DefaultOptions(*k)
 		opts.Seed = *seed
 		opts.Restarts = *restarts
 		opts.Workers = *workers
 		opts.ChunkSize = *chunk
-		res, err = clarans.Run(ds, opts)
+		res, err = clarans.RunContext(ctx, ds, opts)
 	case "doc":
 		if *w <= 0 {
 			fail(fmt.Errorf("doc requires -w > 0"))
@@ -298,7 +312,7 @@ func main() {
 		opts.Workers = *workers
 		opts.EarlyStop = *earlyStop
 		opts.ChunkSize = *chunk
-		res, err = doc.Run(ds, opts)
+		res, err = doc.RunContext(ctx, ds, opts)
 	case "clique":
 		opts := clique.DefaultOptions()
 		if *xi > 0 {
@@ -312,7 +326,7 @@ func main() {
 		opts.Restarts = *restarts
 		opts.Workers = *workers
 		opts.ChunkSize = *chunk
-		_, res, err = clique.Run(ds, opts)
+		_, res, err = clique.RunContext(ctx, ds, opts)
 	case "copkmeans":
 		must, cannot, cerr := sup.AsConstraints()
 		if cerr != nil {
@@ -324,7 +338,7 @@ func main() {
 		opts.Workers = *workers
 		opts.EarlyStop = *earlyStop
 		opts.ChunkSize = *chunk
-		res, err = copkmeans.Run(ds, &copkmeans.Constraints{MustLink: must, CannotLink: cannot}, opts)
+		res, err = copkmeans.RunContext(ctx, ds, &copkmeans.Constraints{MustLink: must, CannotLink: cannot}, opts)
 	case "seedkmeans":
 		kn, kerr := sup.AsKnowledge()
 		if kerr != nil {
@@ -337,14 +351,14 @@ func main() {
 		opts.Workers = *workers
 		opts.EarlyStop = *earlyStop
 		opts.ChunkSize = *chunk
-		res, err = seedkmeans.Run(ds, kn, opts)
+		res, err = seedkmeans.RunContext(ctx, ds, kn, opts)
 	case "bicluster":
 		opts := bicluster.DefaultOptions(*k, *delta)
 		opts.Seed = *seed
 		opts.Restarts = *restarts
 		opts.Workers = *workers
 		opts.ChunkSize = *chunk
-		_, res, err = bicluster.Run(ds, opts)
+		_, res, err = bicluster.RunContext(ctx, ds, opts)
 	default:
 		fail(fmt.Errorf("unknown algorithm %q", *algo))
 	}

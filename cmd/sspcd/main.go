@@ -22,7 +22,10 @@
 //	                         data_file the hash is the file's verified header
 //	                         checksum, so no full scan is paid.
 //	GET  /jobs/{id}          poll a fit job: state, progress (iterations and
-//	                         best objective, via core.Trace), model key
+//	                         best objective, via core.Trace), model key, and
+//	                         on failure a typed error class (canceled,
+//	                         deadline, panic, error)
+//	POST /jobs/{id}/cancel   cancel a running fit job (202; 409 once done)
 //	GET  /models             list registered models
 //	POST /models             upload an encoded model file (internal/model)
 //	GET  /models/{key}       download a model's encoded bytes
@@ -33,12 +36,23 @@
 //	                         per-object output format, byte-identical to the
 //	                         CLI scoring the same rows with the same model
 //
-// SIGINT/SIGTERM shut the server down gracefully: listeners close, in-flight
-// requests finish, and running fit jobs are drained before exit.
+// SIGINT/SIGTERM shut the server down gracefully: new fit submissions are
+// refused with a typed 503 ("draining"), listeners close, in-flight requests
+// finish, and running fit jobs are drained — all bounded by -drain.
+//
+// Robustness knobs (docs/OPERATIONS.md has the full operator guide):
+//
+//	-fit-timeout      default per-job deadline when a fit request has none
+//	-fit-timeout-max  hard cap on any per-job deadline (also caps -fit-timeout)
+//	-max-jobs         concurrent fit computations admitted; beyond it POST /fit
+//	                  answers a typed 429 (cache hits always pass)
+//	-max-body         request-body cap for fit/assign/upload bodies; beyond it
+//	                  a typed 413
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -54,10 +68,19 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address")
 		models  = flag.String("models", "", "comma-separated model files to preload into the registry")
 		timeout = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+
+		fitTimeout    = flag.Duration("fit-timeout", 0, "default per-job fit deadline when the request carries no timeout field; 0 = none")
+		fitTimeoutMax = flag.Duration("fit-timeout-max", 0, "hard cap on any per-job fit deadline; 0 = uncapped")
+		maxJobs       = flag.Int("max-jobs", 0, "fit computations admitted at once; further POST /fit answers 429. 0 = unbounded")
+		maxBody       = flag.Int64("max-body", 64<<20, "request-body byte cap for fit, assign, and model-upload bodies (413 beyond it); 0 = uncapped")
 	)
 	flag.Parse()
 
 	srv := newServer()
+	srv.fitTimeout = *fitTimeout
+	srv.fitTimeoutMax = *fitTimeoutMax
+	srv.maxJobs = *maxJobs
+	srv.maxBody = *maxBody
 	for _, path := range strings.Split(*models, ",") {
 		path = strings.TrimSpace(path)
 		if path == "" {
@@ -71,7 +94,10 @@ func main() {
 		fmt.Printf("sspcd: loaded %s as %s\n", path, key)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	// ReadHeaderTimeout bounds how long a connection may sit between accept
+	// and a complete header, so idle or trickling clients cannot pin
+	// goroutines forever (the body caps bound everything after the header).
+	httpSrv := &http.Server{Addr: *addr, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("sspcd: listening on %s\n", *addr)
@@ -86,18 +112,37 @@ func main() {
 		fmt.Printf("sspcd: %v, draining\n", sig)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-	defer cancel()
-	if err := httpSrv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "sspcd: shutdown: %v\n", err)
+	if err := drain(httpSrv, srv, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "sspcd: %v\n", err)
 	}
-	// Fit jobs run outside the request lifecycle; wait for them too so a
-	// drain never abandons a computation it accepted.
+}
+
+// shutdowner is the slice of http.Server drain needs, so the drain sequence
+// is testable without binding a listener.
+type shutdowner interface {
+	Shutdown(context.Context) error
+}
+
+// errDrainTimeout reports a drain that gave up with fit jobs still running.
+var errDrainTimeout = errors.New("drain timeout with fit jobs still running")
+
+// drain performs the graceful-shutdown sequence: flip the server into
+// draining mode (new fits answer 503), close the listener and wait for
+// in-flight requests, then wait for running fit jobs — the whole sequence
+// bounded by timeout. Fit jobs run outside the request lifecycle, so waiting
+// on them separately is what keeps a drain from abandoning a computation it
+// accepted.
+func drain(hs shutdowner, srv *server, timeout time.Duration) error {
+	srv.draining.Store(true)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	shutdownErr := hs.Shutdown(ctx)
 	done := make(chan struct{})
 	go func() { srv.fits.Wait(); close(done) }()
 	select {
 	case <-done:
+		return shutdownErr
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "sspcd: drain timeout with fit jobs still running")
+		return errDrainTimeout
 	}
 }

@@ -1,19 +1,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dataset/binfmt"
 	"repro/internal/doc"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/proclus"
 )
@@ -33,6 +38,11 @@ type entry struct {
 type job struct {
 	ID    string `json:"id"`
 	State string `json:"state"` // "running" | "done" | "failed"
+	// Class partitions failures for operators: "canceled" (POST
+	// /jobs/{id}/cancel), "deadline" (the job's timeout expired), "panic"
+	// (a restart goroutine panicked; the daemon survived), or "error"
+	// (everything else). Empty unless State is "failed".
+	Class string `json:"error_class,omitempty"`
 	// Progress mirrors the latest trace callback: completed main-loop
 	// iterations across all restarts, and the best objective so far.
 	Iterations int     `json:"iterations"`
@@ -77,6 +87,13 @@ type fitRequest struct {
 	Restarts  int   `json:"restarts,omitempty"`
 	EarlyStop int   `json:"earlystop,omitempty"`
 	Workers   int   `json:"workers,omitempty"`
+
+	// Timeout bounds this fit (a Go duration string such as "30s" or "5m").
+	// Empty falls back to the server's -fit-timeout default; any value is
+	// clamped to -fit-timeout-max. Like Workers it cannot change a completed
+	// fit's output — a run either finishes byte-identically or fails with a
+	// deadline error — so it is excluded from the model identity.
+	Timeout string `json:"timeout,omitempty"`
 }
 
 // server is the sspcd HTTP state: the model registry and the fit-job table.
@@ -85,8 +102,28 @@ type server struct {
 	models  map[string]*entry
 	jobs    map[string]*job
 	nextJob int
+	// cancels holds the cancel function of every running fit job, keyed by
+	// job ID; entries disappear when the fit goroutine exits.
+	cancels map[string]context.CancelCauseFunc
+	// running counts admitted, not-yet-finished fit computations (cache hits
+	// never count) — the gauge -max-jobs bounds.
+	running int
 	// fits tracks in-flight fit goroutines so shutdown can drain them.
 	fits sync.WaitGroup
+
+	// Hardening knobs, set from main's flags before the server starts. The
+	// zero values mean "no limit / no default deadline", which is also what
+	// the direct-construction test path gets.
+	maxBody       int64         // fit/assign/upload request-body cap; 0 = unbounded
+	maxJobs       int           // concurrent fit computations admitted; 0 = unbounded
+	fitTimeout    time.Duration // default per-job deadline when the request has none
+	fitTimeoutMax time.Duration // hard cap on any per-job deadline
+
+	// draining flips when graceful shutdown starts; new fit submissions are
+	// then refused with a typed 503 instead of racing http.Server.Shutdown.
+	draining atomic.Bool
+	// reqID numbers requests for the panic-recovery middleware's 500s.
+	reqID atomic.Int64
 
 	// assignScratch pools the flatten/assign buffers of the hot path, so
 	// steady-state /assign requests reuse memory instead of growing the heap
@@ -101,8 +138,9 @@ type assignBuffers struct {
 
 func newServer() *server {
 	s := &server{
-		models: make(map[string]*entry),
-		jobs:   make(map[string]*job),
+		models:  make(map[string]*entry),
+		jobs:    make(map[string]*job),
+		cancels: make(map[string]context.CancelCauseFunc),
 	}
 	s.assignScratch.New = func() any { return &assignBuffers{} }
 	return s
@@ -139,15 +177,33 @@ func (s *server) loadModelFile(path string) (string, error) {
 	return s.register(m, enc)
 }
 
-// ServeHTTP routes requests by hand: go.mod pins the language to a version
-// whose ServeMux has no method or wildcard patterns, so the table lives here.
+// ServeHTTP stamps every request with an ID, contains handler panics (a
+// panicking handler answers 500 with the request ID instead of killing the
+// connection or the daemon), and routes. Routing is by hand: go.mod pins the
+// language to a version whose ServeMux has no method or wildcard patterns,
+// so the table lives here.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := fmt.Sprintf("req-%d", s.reqID.Add(1))
+	w.Header().Set("X-Request-Id", id)
+	defer func() {
+		if v := recover(); v != nil {
+			// Best effort: if the handler already wrote a status line the
+			// error text lands mid-body, but the daemon stays up either way.
+			httpError(w, http.StatusInternalServerError, "internal error (request %s): %v", id, v)
+		}
+	}()
+	s.route(w, r)
+}
+
+func (s *server) route(w http.ResponseWriter, r *http.Request) {
 	path := r.URL.Path
 	switch {
 	case path == "/healthz":
 		fmt.Fprintln(w, "ok")
 	case path == "/fit" && r.Method == http.MethodPost:
 		s.handleFit(w, r)
+	case strings.HasPrefix(path, "/jobs/") && strings.HasSuffix(path, "/cancel") && r.Method == http.MethodPost:
+		s.handleJobCancel(w, strings.TrimSuffix(strings.TrimPrefix(path, "/jobs/"), "/cancel"))
 	case strings.HasPrefix(path, "/jobs/") && r.Method == http.MethodGet:
 		s.handleJob(w, r, strings.TrimPrefix(path, "/jobs/"))
 	case path == "/models" && r.Method == http.MethodGet:
@@ -163,6 +219,54 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		httpError(w, http.StatusNotFound, "no route for %s %s", r.Method, path)
 	}
+}
+
+// limitBody caps the request body at the server's -max-body budget; the
+// reader then fails with *http.MaxBytesError, which bodyErrStatus maps to a
+// typed 413.
+func (s *server) limitBody(w http.ResponseWriter, r *http.Request) {
+	if s.maxBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+}
+
+// bodyErrStatus distinguishes "the body hit the -max-body cap" (413) from
+// every other body problem (400).
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// effectiveTimeout resolves a fit's deadline: the request's own value, else
+// the server default, clamped to the server maximum. 0 means no deadline.
+func (s *server) effectiveTimeout(req time.Duration) time.Duration {
+	t := req
+	if t <= 0 {
+		t = s.fitTimeout
+	}
+	if s.fitTimeoutMax > 0 && (t <= 0 || t > s.fitTimeoutMax) {
+		t = s.fitTimeoutMax
+	}
+	return t
+}
+
+// classifyFitError maps a failed fit's error onto the job's typed class so
+// operators (and the drain logic) can tell an operator action from a
+// deadline from a crash.
+func classifyFitError(err error) string {
+	var pe *engine.PanicError
+	switch {
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return "error"
 }
 
 // fingerprint is the canonical option string of a fit request — the Options
@@ -239,9 +343,10 @@ func (r *fitRequest) dataset() (ds *dataset.Dataset, hash string, closer func() 
 	return ds, model.DatasetHash(ds), nil, nil
 }
 
-// run executes the fit described by the request. Only the three algorithms
-// with a servable fitted shape are offered.
-func (r *fitRequest) run(ds *dataset.Dataset, trace *core.Trace) (*cluster.Result, error) {
+// run executes the fit described by the request under ctx, so a cancel or a
+// deadline unwinds the fit at the next restart, iteration, or chunk boundary.
+// Only the three algorithms with a servable fitted shape are offered.
+func (r *fitRequest) run(ctx context.Context, ds *dataset.Dataset, trace *core.Trace) (*cluster.Result, error) {
 	switch r.Algo {
 	case "sspc":
 		opts := core.DefaultOptions(r.K)
@@ -256,21 +361,21 @@ func (r *fitRequest) run(ds *dataset.Dataset, trace *core.Trace) (*cluster.Resul
 		opts.Workers = r.Workers
 		opts.EarlyStop = r.EarlyStop
 		opts.Trace = trace
-		return core.Run(ds, opts)
+		return core.RunContext(ctx, ds, opts)
 	case "proclus":
 		opts := proclus.DefaultOptions(r.K, r.L)
 		opts.Seed = r.Seed
 		opts.Restarts = r.Restarts
 		opts.Workers = r.Workers
 		opts.EarlyStop = r.EarlyStop
-		return proclus.Run(ds, opts)
+		return proclus.RunContext(ctx, ds, opts)
 	case "doc":
 		opts := doc.DefaultOptions(r.K, r.W)
 		opts.Seed = r.Seed
 		opts.Restarts = r.Restarts
 		opts.Workers = r.Workers
 		opts.EarlyStop = r.EarlyStop
-		return doc.Run(ds, opts)
+		return doc.RunContext(ctx, ds, opts)
 	}
 	return nil, fmt.Errorf("unknown algorithm %q (serving supports sspc, proclus, doc)", r.Algo)
 }
@@ -278,13 +383,29 @@ func (r *fitRequest) run(ds *dataset.Dataset, trace *core.Trace) (*cluster.Resul
 // handleFit submits an asynchronous fit: the response carries a job ID to
 // poll. A registry hit — same dataset hash, algorithm, canonical options and
 // seed — short-circuits to a done job pointing at the existing model.
+// Hardening gates run in order: draining (503), body cap (413), admission
+// (429 once -max-jobs computations are in flight); admitted fits run under a
+// per-job deadline and stay cancellable via POST /jobs/{id}/cancel.
 func (s *server) handleFit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.limitBody(w, r)
 	var req fitRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "fit request: %v", err)
+		httpError(w, bodyErrStatus(err), "fit request: %v", err)
 		return
+	}
+	var reqTimeout time.Duration
+	if req.Timeout != "" {
+		var err error
+		if reqTimeout, err = time.ParseDuration(req.Timeout); err != nil || reqTimeout < 0 {
+			httpError(w, http.StatusBadRequest, "fit request: bad timeout %q", req.Timeout)
+			return
+		}
 	}
 	ds, hash, closeDS, err := req.dataset()
 	if err != nil {
@@ -295,6 +416,15 @@ func (s *server) handleFit(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	_, cached := s.models[key]
+	if !cached && s.maxJobs > 0 && s.running >= s.maxJobs {
+		s.mu.Unlock()
+		if closeDS != nil {
+			closeDS()
+		}
+		httpError(w, http.StatusTooManyRequests,
+			"job queue full (%d fits running, limit %d); retry later", s.maxJobs, s.maxJobs)
+		return
+	}
 	s.nextJob++
 	j := &job{ID: fmt.Sprintf("job-%d", s.nextJob), State: "running"}
 	if cached {
@@ -303,6 +433,17 @@ func (s *server) handleFit(w http.ResponseWriter, r *http.Request) {
 		j.Cached = true
 	}
 	s.jobs[j.ID] = j
+	var ctx context.Context
+	if !cached {
+		s.running++
+		// WithCancelCause keeps the operator's cancel distinguishable from a
+		// deadline in the job's error class; the deadline (if any) layers on
+		// top inside the fit goroutine.
+		var cancel context.CancelCauseFunc
+		ctx, cancel = context.WithCancelCause(context.Background())
+		s.cancels[j.ID] = cancel
+	}
+	deadline := s.effectiveTimeout(reqTimeout)
 	s.mu.Unlock()
 
 	if cached && closeDS != nil {
@@ -326,7 +467,27 @@ func (s *server) handleFit(w http.ResponseWriter, r *http.Request) {
 			if closeDS != nil {
 				defer closeDS()
 			}
-			res, err := req.run(ds, trace)
+			defer func() {
+				s.mu.Lock()
+				delete(s.cancels, j.ID)
+				s.running--
+				// A panic that escaped the engine's restart containment (e.g.
+				// from the trace callback or model encoding) must not kill the
+				// daemon: record it as a failed job and keep serving.
+				if v := recover(); v != nil {
+					j.State = "failed"
+					j.Class = "panic"
+					j.Error = fmt.Sprintf("fit panicked: %v", v)
+				}
+				s.mu.Unlock()
+			}()
+			runCtx := ctx
+			if deadline > 0 {
+				var cancelTimer context.CancelFunc
+				runCtx, cancelTimer = context.WithTimeout(ctx, deadline)
+				defer cancelTimer()
+			}
+			res, err := req.run(runCtx, ds, trace)
 			var m *model.Model
 			if err == nil {
 				m, err = model.FromResult(req.Algo, req.fingerprint(), req.Seed, hash, ds.D(), res)
@@ -340,17 +501,40 @@ func (s *server) handleFit(w http.ResponseWriter, r *http.Request) {
 				regKey, err = s.register(m, enc)
 			}
 			s.mu.Lock()
-			defer s.mu.Unlock()
 			if err != nil {
 				j.State = "failed"
+				j.Class = classifyFitError(err)
 				j.Error = err.Error()
-				return
+			} else {
+				j.State = "done"
+				j.Model = regKey
 			}
-			j.State = "done"
-			j.Model = regKey
+			s.mu.Unlock()
 		}()
 	}
 
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, j, &s.mu)
+}
+
+// handleJobCancel cancels a running fit. The cancellation lands at the fit's
+// next restart, iteration, or chunk boundary; the job then fails with class
+// "canceled". Finished (or cached) jobs answer 409.
+func (s *server) handleJobCancel(w http.ResponseWriter, id string) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	cancel := s.cancels[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if cancel == nil {
+		httpError(w, http.StatusConflict, "job %q is not running", id)
+		return
+	}
+	cancel(context.Canceled)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	writeJSON(w, j, &s.mu)
@@ -394,9 +578,10 @@ func (s *server) handleModelList(w http.ResponseWriter) {
 }
 
 func (s *server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
 	data, err := io.ReadAll(r.Body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		httpError(w, bodyErrStatus(err), "read body: %v", err)
 		return
 	}
 	m, err := model.Decode(data)
@@ -443,11 +628,12 @@ type assignRequest struct {
 // buffer, score it on the prebuilt allocation-free assigner, return the
 // winning cluster per row (−1 = outlier).
 func (s *server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
 	var req assignRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "assign request: %v", err)
+		httpError(w, bodyErrStatus(err), "assign request: %v", err)
 		return
 	}
 	e, ok := s.lookup(req.Model)
@@ -489,9 +675,10 @@ func (s *server) handleAssignCSV(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown model %q", key)
 		return
 	}
+	s.limitBody(w, r)
 	ds, err := dataset.ReadCSV(r.Body, false)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "csv body: %v", err)
+		httpError(w, bodyErrStatus(err), "csv body: %v", err)
 		return
 	}
 	if ds.D() != e.assigner.D() {

@@ -1,11 +1,15 @@
 package sspc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 )
 
 // The cross-algorithm determinism conformance suite: one table of drivers,
@@ -45,6 +49,12 @@ import (
 //     (shardRows, workers, chunk) combination, and single-restart mmap runs
 //     still hit the golden pins — the out-of-core tier is a storage
 //     decision, never a semantic one.
+// 10. Context equivalence: every algorithm's RunContext twin, run to
+//     completion under a live context, is byte-identical to Run; a context
+//     cancelled before or during the fit yields context.Canceled (an expired
+//     deadline context.DeadlineExceeded) with a nil result — never a partial
+//     clustering — and leaves no goroutines behind, on flat and mmap-backed
+//     storage alike (see ARCHITECTURE.md, "The cancellation contract").
 
 // confRun carries the engine knobs a conformance driver forwards.
 type confRun struct {
@@ -67,6 +77,9 @@ type confAlgo struct {
 	restarts   int  // multi-restart count for the invariance legs
 	earlyStop  bool // has a streaming EarlyStop knob
 	run        func(ds *Dataset, r confRun) (*Result, error)
+	// runCtx is the same driver through the algorithm's RunContext twin, for
+	// the context-equivalence leg.
+	runCtx func(ctx context.Context, ds *Dataset, r confRun) (*Result, error)
 }
 
 func conformanceAlgos() []confAlgo {
@@ -83,6 +96,15 @@ func conformanceAlgos() []confAlgo {
 				opts.EarlyStop = r.earlyStop
 				return Cluster(ds, opts)
 			},
+			runCtx: func(ctx context.Context, ds *Dataset, r confRun) (*Result, error) {
+				opts := DefaultOptions(3)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				opts.EarlyStop = r.earlyStop
+				return ClusterContext(ctx, ds, opts)
+			},
 		},
 		{
 			name: "PROCLUS", golden: "806061b7eb1d1ee0 score=4.3429625545",
@@ -96,6 +118,15 @@ func conformanceAlgos() []confAlgo {
 				opts.EarlyStop = r.earlyStop
 				return PROCLUS(ds, opts)
 			},
+			runCtx: func(ctx context.Context, ds *Dataset, r confRun) (*Result, error) {
+				opts := PROCLUSDefaults(3, 6)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				opts.EarlyStop = r.earlyStop
+				return PROCLUSContext(ctx, ds, opts)
+			},
 		},
 		{
 			name: "CLARANS", golden: "18464aced1dab249 score=33501.7748117",
@@ -107,6 +138,14 @@ func conformanceAlgos() []confAlgo {
 				opts.Workers = r.workers
 				opts.ChunkSize = r.chunkSize
 				return CLARANS(ds, opts)
+			},
+			runCtx: func(ctx context.Context, ds *Dataset, r confRun) (*Result, error) {
+				opts := CLARANSDefaults(3)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				return CLARANSContext(ctx, ds, opts)
 			},
 		},
 		{
@@ -121,6 +160,15 @@ func conformanceAlgos() []confAlgo {
 				opts.EarlyStop = r.earlyStop
 				return DOC(ds, opts)
 			},
+			runCtx: func(ctx context.Context, ds *Dataset, r confRun) (*Result, error) {
+				opts := DOCDefaults(3, 15)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				opts.EarlyStop = r.earlyStop
+				return DOCContext(ctx, ds, opts)
+			},
 		},
 		{
 			name: "HARP", golden: "f1b9c1627ce202c5 score=16.5321083411",
@@ -132,6 +180,14 @@ func conformanceAlgos() []confAlgo {
 				opts.Workers = r.workers
 				opts.ChunkSize = r.chunkSize
 				return HARP(ds, opts)
+			},
+			runCtx: func(ctx context.Context, ds *Dataset, r confRun) (*Result, error) {
+				opts := HARPDefaults(3)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				return HARPContext(ctx, ds, opts)
 			},
 		},
 		// The four PR-7 promotions. Their pins were captured from the
@@ -149,6 +205,16 @@ func conformanceAlgos() []confAlgo {
 				opts.Workers = r.workers
 				opts.ChunkSize = r.chunkSize
 				_, res, err := CLIQUE(ds, opts)
+				return res, err
+			},
+			runCtx: func(ctx context.Context, ds *Dataset, r confRun) (*Result, error) {
+				opts := CLIQUEDefaults()
+				opts.Tau = 0.08
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				_, res, err := CLIQUEContext(ctx, ds, opts)
 				return res, err
 			},
 		},
@@ -170,6 +236,19 @@ func conformanceAlgos() []confAlgo {
 				opts.EarlyStop = r.earlyStop
 				return COPKMeans(ds, cons, opts)
 			},
+			runCtx: func(ctx context.Context, ds *Dataset, r confRun) (*Result, error) {
+				cons := &Constraints{
+					MustLink:   [][2]int{{0, 1}, {5, 6}},
+					CannotLink: [][2]int{{0, 5}, {10, 20}},
+				}
+				opts := COPKMeansDefaults(3)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				opts.EarlyStop = r.earlyStop
+				return COPKMeansContext(ctx, ds, cons, opts)
+			},
 		},
 		{
 			name: "SeedKMeans", golden: "ef00a9fb889cc371 score=3992157.62679",
@@ -185,6 +264,15 @@ func conformanceAlgos() []confAlgo {
 				opts.EarlyStop = r.earlyStop
 				return SeedKMeans(ds, nil, opts)
 			},
+			runCtx: func(ctx context.Context, ds *Dataset, r confRun) (*Result, error) {
+				opts := SeedKMeansDefaults(3)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				opts.EarlyStop = r.earlyStop
+				return SeedKMeansContext(ctx, ds, nil, opts)
+			},
 		},
 		{
 			name: "Bicluster", golden: "9d24ebabeefb658d score=31.7221345615",
@@ -196,6 +284,15 @@ func conformanceAlgos() []confAlgo {
 				opts.Workers = r.workers
 				opts.ChunkSize = r.chunkSize
 				_, res, err := Biclusters(ds, opts)
+				return res, err
+			},
+			runCtx: func(ctx context.Context, ds *Dataset, r confRun) (*Result, error) {
+				opts := BiclusterDefaults(3, 50)
+				opts.Seed = r.seed
+				opts.Restarts = r.restarts
+				opts.Workers = r.workers
+				opts.ChunkSize = r.chunkSize
+				_, res, err := BiclustersContext(ctx, ds, opts)
 				return res, err
 			},
 		},
@@ -501,4 +598,107 @@ func TestConformanceConcurrentSharedDataset(t *testing.T) {
 		}
 	}
 	wg.Wait()
+}
+
+// settleGoroutines polls until the process goroutine count drops back to the
+// baseline (the engine's workers unwind asynchronously after a cancelled run
+// returns) or the deadline passes — at which point a leak is real, not a
+// scheduling artifact.
+func settleGoroutines(t *testing.T, baseline int, label string) {
+	t.Helper()
+	for wait := 0; wait < 200; wait++ {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("%s: %d goroutines still running (baseline %d) — cancelled run leaked workers",
+		label, runtime.NumGoroutine(), baseline)
+}
+
+// TestConformanceContextEquivalence is the cancellation leg (leg 10), on
+// flat and mmap-backed storage: a RunContext fit that completes under a live
+// context is byte-identical to Run; a context cancelled before the fit
+// returns context.Canceled with a nil result; an expired deadline returns
+// context.DeadlineExceeded with a nil result; and neither cancelled shape
+// leaves goroutines behind.
+func TestConformanceContextEquivalence(t *testing.T) {
+	gt := detFixture(t)
+	path := filepath.Join(t.TempDir(), "fixture.sspcb")
+	if _, err := WriteBinaryDataset(path, gt.Data, (gt.Data.N()+2)/3); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := OpenBinaryDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fl.Close() })
+	storage := map[string]*Dataset{"flat": gt.Data, "mmap": fl.Dataset()}
+
+	for _, a := range conformanceAlgos() {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			for label, ds := range storage {
+				r := confRun{seed: a.goldenSeed, restarts: a.restarts, workers: 4}
+				plain, err := a.run(ds, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				withCtx, err := a.runCtx(context.Background(), ds, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(plain, withCtx) {
+					t.Errorf("%s: RunContext diverged from Run:\n  Run:        %s\n  RunContext: %s",
+						label, fingerprint(plain), fingerprint(withCtx))
+				}
+
+				baseline := runtime.NumGoroutine()
+
+				cancelled, cancel := context.WithCancel(context.Background())
+				cancel()
+				res, err := a.runCtx(cancelled, ds, r)
+				if !errors.Is(err, context.Canceled) {
+					t.Errorf("%s: pre-cancelled context: err = %v, want context.Canceled", label, err)
+				}
+				if res != nil {
+					t.Errorf("%s: pre-cancelled context returned a partial result", label)
+				}
+				settleGoroutines(t, baseline, label+"/cancel")
+
+				expired, cancelExp := context.WithTimeout(context.Background(), -time.Hour)
+				defer cancelExp()
+				res, err = a.runCtx(expired, ds, r)
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Errorf("%s: expired deadline: err = %v, want context.DeadlineExceeded", label, err)
+				}
+				if res != nil {
+					t.Errorf("%s: expired deadline returned a partial result", label)
+				}
+				settleGoroutines(t, baseline, label+"/deadline")
+
+				// Mid-fit cancellation: fire the cancel concurrently with the
+				// run. Either the fit wins the race and completes (then its
+				// Result must be the full byte-identical one) or the cancel
+				// lands and the typed cause comes back with a nil result —
+				// never a partial clustering.
+				midCtx, midCancel := context.WithCancel(context.Background())
+				go midCancel()
+				res, err = a.runCtx(midCtx, ds, r)
+				switch {
+				case err == nil:
+					if !reflect.DeepEqual(plain, res) {
+						t.Errorf("%s: mid-fit cancel race: completed run diverged from Run", label)
+					}
+				case errors.Is(err, context.Canceled):
+					if res != nil {
+						t.Errorf("%s: mid-fit cancel returned a partial result", label)
+					}
+				default:
+					t.Errorf("%s: mid-fit cancel: err = %v, want nil or context.Canceled", label, err)
+				}
+				settleGoroutines(t, baseline, label+"/mid-cancel")
+			}
+		})
+	}
 }

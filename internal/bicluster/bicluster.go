@@ -89,6 +89,14 @@ type Bicluster struct {
 // H across the K biclusters (lower is better). The input matrix is copied;
 // masking does not modify the caller's dataset.
 func Run(ds *dataset.Dataset, opts Options) ([]Bicluster, *cluster.Result, error) {
+	return RunContext(context.Background(), ds, opts)
+}
+
+// RunContext is Run under a context: cancellation is checked at every restart
+// launch, before every extracted bicluster, and at every deletion round of
+// both node-deletion phases, so a canceled search returns context.Cause(ctx)
+// — never a partial result. A run that completes is byte-identical to Run.
+func RunContext(ctx context.Context, ds *dataset.Dataset, opts Options) ([]Bicluster, *cluster.Result, error) {
 	if ds == nil {
 		return nil, nil, errors.New("bicluster: nil dataset")
 	}
@@ -135,9 +143,9 @@ func Run(ds *dataset.Dataset, opts Options) ([]Bicluster, *cluster.Result, error
 		res  *cluster.Result
 	}
 	intra := engine.SplitBudget(opts.Workers, restarts)
-	outs, err := engine.Run(context.Background(), restarts, opts.Workers, opts.Seed,
+	outs, err := engine.Run(ctx, restarts, opts.Workers, opts.Seed,
 		func(_ int, rng *stats.RNG) (runOut, error) {
-			bics, res, err := runOnce(ds, opts, maskLo, maskHi, rng, intra)
+			bics, res, err := runOnce(ctx, ds, opts, maskLo, maskHi, rng, intra)
 			return runOut{bics, res}, err
 		})
 	if err != nil {
@@ -151,7 +159,7 @@ func Run(ds *dataset.Dataset, opts Options) ([]Bicluster, *cluster.Result, error
 
 // runOnce is one restart: extract K biclusters from a private copy of the
 // matrix, masking each found bicluster with rng-drawn values.
-func runOnce(ds *dataset.Dataset, opts Options, maskLo, maskHi float64,
+func runOnce(ctx context.Context, ds *dataset.Dataset, opts Options, maskLo, maskHi float64,
 	rng *stats.RNG, workers int) ([]Bicluster, *cluster.Result, error) {
 	n, d := ds.N(), ds.D()
 
@@ -163,6 +171,9 @@ func runOnce(ds *dataset.Dataset, opts Options, maskLo, maskHi float64,
 
 	var out []Bicluster
 	for c := 0; c < opts.K; c++ {
+		if err := engine.Cause(ctx); err != nil {
+			return nil, nil, err
+		}
 		rows := seq(n)
 		cols := seq(d)
 
@@ -172,6 +183,9 @@ func runOnce(ds *dataset.Dataset, opts Options, maskLo, maskHi float64,
 		const bulkThreshold = 100
 		for (len(rows) > bulkThreshold || len(cols) > bulkThreshold) &&
 			(len(rows) > opts.MinRows && len(cols) > opts.MinCols) {
+			if err := engine.Cause(ctx); err != nil {
+				return nil, nil, err
+			}
 			h, rowRes, colRes := residuesChunked(a, rows, cols, workers, opts.ChunkSize)
 			if h <= opts.Delta {
 				break
@@ -204,6 +218,9 @@ func runOnce(ds *dataset.Dataset, opts Options, maskLo, maskHi float64,
 		// Phase 2 — single node deletion (Algorithm 1): repeatedly remove
 		// the one row or column with the largest residue until H <= δ.
 		for len(rows) > opts.MinRows || len(cols) > opts.MinCols {
+			if err := engine.Cause(ctx); err != nil {
+				return nil, nil, err
+			}
 			h, rowRes, colRes := residuesChunked(a, rows, cols, workers, opts.ChunkSize)
 			if h <= opts.Delta {
 				break

@@ -65,6 +65,14 @@ type localOptimum struct {
 // with ties going to the lowest restart index, so the result is a pure
 // function of (ds, opts) regardless of the worker count.
 func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
+	return RunContext(context.Background(), ds, opts)
+}
+
+// RunContext is Run under a context: cancellation is checked at every local
+// search launch, every swap trial inside a search, and every chunk boundary
+// of the final assignment scan, so a canceled run returns context.Cause(ctx)
+// — never a partial result. A run that completes is byte-identical to Run.
+func RunContext(ctx context.Context, ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if ds == nil {
 		return nil, errors.New("clarans: nil dataset")
 	}
@@ -86,9 +94,9 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 		}
 	}
 
-	locals, err := engine.Run(context.Background(), numLocal, opts.Workers, opts.Seed,
+	locals, err := engine.Run(ctx, numLocal, opts.Workers, opts.Seed,
 		func(_ int, rng *stats.RNG) (localOptimum, error) {
-			return localSearch(ds, opts, rng), nil
+			return localSearch(ctx, ds, opts, rng)
 		})
 	if err != nil {
 		return nil, err
@@ -113,7 +121,7 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	// either way.
 	chunkSize = engine.AlignChunk(chunkSize, ds.ShardRows())
 	assign := make([]int, n)
-	engine.ParallelChunks(n, chunkSize, engine.DefaultWorkers(opts.Workers), func(_, lo, hi int) {
+	if err := engine.ParallelChunksCtx(ctx, n, chunkSize, engine.DefaultWorkers(opts.Workers), func(_, lo, hi int) {
 		for p := lo; p < hi; p++ {
 			bestDist := math.Inf(1)
 			for i, m := range best.medoids {
@@ -123,7 +131,9 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 				}
 			}
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	res := &cluster.Result{
 		K:                   opts.K,
 		Assignments:         assign,
@@ -140,13 +150,16 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 // localSearch runs one local search: from a random medoid set, try random
 // single-medoid swaps until MaxNeighbor consecutive swaps fail to improve
 // the cost.
-func localSearch(ds *dataset.Dataset, opts Options, rng *stats.RNG) localOptimum {
+func localSearch(ctx context.Context, ds *dataset.Dataset, opts Options, rng *stats.RNG) (localOptimum, error) {
 	n := ds.N()
 	medoids := rng.Sample(n, opts.K)
 	cost := totalCost(ds, medoids)
 	tries := 0
 	iterations := 0
 	for tries < opts.MaxNeighbor {
+		if err := engine.Cause(ctx); err != nil {
+			return localOptimum{}, err
+		}
 		iterations++
 		// Random neighbor: replace one random medoid with one random
 		// non-medoid.
@@ -166,7 +179,7 @@ func localSearch(ds *dataset.Dataset, opts Options, rng *stats.RNG) localOptimum
 			tries++
 		}
 	}
-	return localOptimum{medoids: medoids, cost: cost, iterations: iterations}
+	return localOptimum{medoids: medoids, cost: cost, iterations: iterations}, nil
 }
 
 // totalCost is the sum over objects of the distance to the nearest medoid.

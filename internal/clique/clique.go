@@ -99,6 +99,14 @@ type Subspace struct {
 // Run executes CLIQUE and returns both the raw subspace clusters and the
 // flattened disjoint partition.
 func Run(ds *dataset.Dataset, opts Options) ([]Subspace, *cluster.Result, error) {
+	return RunContext(context.Background(), ds, opts)
+}
+
+// RunContext is Run under a context: cancellation is checked at every restart
+// launch, every chunk boundary of the cell and density scans, and every
+// apriori level, so a canceled run returns context.Cause(ctx) — never a
+// partial result. A run that completes is byte-identical to Run.
+func RunContext(ctx context.Context, ds *dataset.Dataset, opts Options) ([]Subspace, *cluster.Result, error) {
 	if ds == nil {
 		return nil, nil, errors.New("clique: nil dataset")
 	}
@@ -125,9 +133,9 @@ func Run(ds *dataset.Dataset, opts Options) ([]Subspace, *cluster.Result, error)
 		res  *cluster.Result
 	}
 	intra := engine.SplitBudget(opts.Workers, restarts)
-	outs, err := engine.Run(context.Background(), restarts, opts.Workers, opts.Seed,
+	outs, err := engine.Run(ctx, restarts, opts.Workers, opts.Seed,
 		func(_ int, _ *stats.RNG) (runOut, error) {
-			subs, res, err := runOnce(ds, opts, intra)
+			subs, res, err := runOnce(ctx, ds, opts, intra)
 			return runOut{subs, res}, err
 		})
 	if err != nil {
@@ -141,7 +149,7 @@ func Run(ds *dataset.Dataset, opts Options) ([]Subspace, *cluster.Result, error)
 
 // runOnce is one (deterministic) CLIQUE search with `workers` goroutines
 // available for its chunked scans.
-func runOnce(ds *dataset.Dataset, opts Options, workers int) ([]Subspace, *cluster.Result, error) {
+func runOnce(ctx context.Context, ds *dataset.Dataset, opts Options, workers int) ([]Subspace, *cluster.Result, error) {
 	n, d := ds.N(), ds.D()
 	minDense := int(opts.Tau * float64(n))
 	if minDense < 1 {
@@ -165,7 +173,7 @@ func runOnce(ds *dataset.Dataset, opts Options, workers int) ([]Subspace, *clust
 		width[j] = (hi - lo[j]) / float64(opts.Xi)
 	}
 	rowChunk := engine.AlignChunk(opts.ChunkSize, ds.ShardRows())
-	engine.ParallelChunks(n, rowChunk, workers, func(_, rlo, rhi int) {
+	if err := engine.ParallelChunksCtx(ctx, n, rowChunk, workers, func(_, rlo, rhi int) {
 		for i := rlo; i < rhi; i++ {
 			cellOf[i] = cells[i*d : (i+1)*d : (i+1)*d]
 			row := ds.Row(i)
@@ -180,7 +188,9 @@ func runOnce(ds *dataset.Dataset, opts Options, workers int) ([]Subspace, *clust
 				cellOf[i][j] = c
 			}
 		}
-	})
+	}); err != nil {
+		return nil, nil, err
+	}
 
 	// Level 1: dense 1-D units — the per-unit density scan, chunked over
 	// the dimension list (each dimension's member lists build serially in
@@ -191,7 +201,7 @@ func runOnce(ds *dataset.Dataset, opts Options, workers int) ([]Subspace, *clust
 		members [][]int
 	}
 	perDim := make([]dimUnits, d)
-	engine.ParallelChunks(d, opts.ChunkSize, workers, func(_, jlo, jhi int) {
+	if err := engine.ParallelChunksCtx(ctx, d, opts.ChunkSize, workers, func(_, jlo, jhi int) {
 		for j := jlo; j < jhi; j++ {
 			counts := make([][]int, opts.Xi)
 			for i := 0; i < n; i++ {
@@ -205,7 +215,9 @@ func runOnce(ds *dataset.Dataset, opts Options, workers int) ([]Subspace, *clust
 				}
 			}
 		}
-	})
+	}); err != nil {
+		return nil, nil, err
+	}
 	type denseLevel map[string][]int // unit key -> member objects
 	level := denseLevel{}
 	units := map[string]unit{}
@@ -230,6 +242,9 @@ func runOnce(ds *dataset.Dataset, opts Options, workers int) ([]Subspace, *clust
 		maxDim = d
 	}
 	for dim := 2; dim <= maxDim && len(level) > 1; dim++ {
+		if err := engine.Cause(ctx); err != nil {
+			return nil, nil, err
+		}
 		next := denseLevel{}
 		nextUnits := map[string]unit{}
 		keys := make([]string, 0, len(level))

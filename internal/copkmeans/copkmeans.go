@@ -185,6 +185,14 @@ func prepare(n int, cons *Constraints) (*prep, error) {
 
 // Run executes COP-KMeans with full-space Euclidean distance.
 func Run(ds *dataset.Dataset, cons *Constraints, opts Options) (*cluster.Result, error) {
+	return RunContext(context.Background(), ds, cons, opts)
+}
+
+// RunContext is Run under a context: cancellation is checked at every restart
+// launch, every k-means iteration, and every chunk boundary of the component
+// distance pass, so a canceled run returns context.Cause(ctx) — never a
+// partial result. A run that completes is byte-identical to Run.
+func RunContext(ctx context.Context, ds *dataset.Dataset, cons *Constraints, opts Options) (*cluster.Result, error) {
 	if ds == nil {
 		return nil, errors.New("copkmeans: nil dataset")
 	}
@@ -211,10 +219,10 @@ func Run(ds *dataset.Dataset, cons *Constraints, opts Options) (*cluster.Result,
 	}
 
 	intra := engine.SplitBudget(opts.Workers, restarts)
-	results, err := engine.Stream(context.Background(), restarts, opts.Workers, opts.Seed,
+	results, err := engine.Stream(ctx, restarts, opts.Workers, opts.Seed,
 		opts.EarlyStop, cluster.BetterResult,
 		func(_ int, rng *stats.RNG) (*cluster.Result, error) {
-			return runOnce(ds, pre, opts, rng, intra)
+			return runOnce(ctx, ds, pre, opts, rng, intra)
 		})
 	if err != nil {
 		return nil, err
@@ -225,7 +233,7 @@ func Run(ds *dataset.Dataset, cons *Constraints, opts Options) (*cluster.Result,
 // runOnce is one restart: random initial centers, then alternate the
 // constrained assignment (chunked distance pass + serial feasibility-ordered
 // placement) with the serial center update until the centers stop moving.
-func runOnce(ds *dataset.Dataset, pre *prep, opts Options, rng *stats.RNG, workers int) (*cluster.Result, error) {
+func runOnce(ctx context.Context, ds *dataset.Dataset, pre *prep, opts Options, rng *stats.RNG, workers int) (*cluster.Result, error) {
 	n, d := ds.N(), ds.D()
 	centers := make([][]float64, opts.K)
 	for c, idx := range rng.Sample(n, opts.K) {
@@ -240,12 +248,15 @@ func runOnce(ds *dataset.Dataset, pre *prep, opts Options, rng *stats.RNG, worke
 	iterations := 0
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if err := engine.Cause(ctx); err != nil {
+			return nil, err
+		}
 		iterations++
 		// Distance pass: every (component, center) total, chunked over the
 		// component list with disjoint writes into dists. Each component's
 		// member sum runs serially in ascending member order, so the values
 		// are independent of Workers and ChunkSize.
-		engine.ParallelChunks(nc, opts.ChunkSize, workers, func(_, lo, hi int) {
+		if err := engine.ParallelChunksCtx(ctx, nc, opts.ChunkSize, workers, func(_, lo, hi int) {
 			for t := lo; t < hi; t++ {
 				members := pre.members[t]
 				for c := 0; c < opts.K; c++ {
@@ -256,7 +267,9 @@ func runOnce(ds *dataset.Dataset, pre *prep, opts Options, rng *stats.RNG, worke
 					dists[t*opts.K+c] = total
 				}
 			}
-		})
+		}); err != nil {
+			return nil, err
+		}
 		// Placement: components in ascending root order, nearest feasible
 		// center first. Serial by nature — feasibility depends on where
 		// earlier components were placed — and the cost accumulates in the

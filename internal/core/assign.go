@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -153,7 +155,9 @@ func (a *assigner) snapshotFitted(dst []cluster.FittedCluster) {
 // triples are packed into contiguous buffers once per call, so the O(n·K·|V|)
 // inner loop reads three dense arrays instead of indirecting through cluster
 // state.
-func (a *assigner) assign(ds *dataset.Dataset, clusters []*state, sHat [][]float64, assign []int) {
+// A canceled ctx aborts the scan between chunks and returns its cause; the
+// partially written assign slice must then be discarded by the caller.
+func (a *assigner) assign(ctx context.Context, ds *dataset.Dataset, clusters []*state, sHat [][]float64, assign []int) error {
 	for i, st := range clusters {
 		pd, pr, ps := a.packDims[i][:0], a.packRep[i][:0], a.packSHat[i][:0]
 		for _, j := range st.dims {
@@ -164,8 +168,9 @@ func (a *assigner) assign(ds *dataset.Dataset, clusters []*state, sHat [][]float
 		a.packDims[i], a.packRep[i], a.packSHat[i] = pd, pr, ps
 	}
 	a.ds, a.out = ds, assign
-	engine.ParallelChunks(len(assign), a.chunkSize, a.workers, a.assignFn)
+	err := engine.ParallelChunksCtx(ctx, len(assign), a.chunkSize, a.workers, a.assignFn)
 	a.ds, a.out = nil, nil
+	return err
 }
 
 // evaluate reruns SelectDim on every cluster's current members and returns
@@ -182,9 +187,9 @@ func (a *assigner) assign(ds *dataset.Dataset, clusters []*state, sHat [][]float
 // The dims slices installed on the states alias the assigner's per-cluster
 // buffers, which the caller's cluster states own until the next evaluate
 // call.
-func (a *assigner) evaluate(ds *dataset.Dataset, clusters []*state, thr *thresholds) float64 {
+func (a *assigner) evaluate(ctx context.Context, ds *dataset.Dataset, clusters []*state, thr *thresholds) (float64, error) {
 	a.ds, a.clusters, a.thr = ds, clusters, thr
-	total := engine.MapChunksInto(len(clusters), 1, a.scratch.Slots(), a.phiBuf, a.evalFn, addPhi)
+	total, err := engine.MapChunksIntoCtx(ctx, len(clusters), 1, a.scratch.Slots(), a.phiBuf, a.evalFn, addPhi)
 	a.ds, a.clusters, a.thr = nil, nil, nil
-	return total
+	return total, err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/dataset"
@@ -227,5 +228,11 @@ func NewParallelEvalBench(ds *dataset.Dataset, opts Options, membersByCluster []
 // Evaluate runs one full Step-4 pass (SelectDim + φ_i on every cluster,
 // chunked across the harness's workers) and returns Σ_i φ_i.
 func (b *ParallelEvalBench) Evaluate() float64 {
-	return b.par.evaluate(b.ds, b.clusters, b.thr)
+	total, err := b.par.evaluate(context.Background(), b.ds, b.clusters, b.thr)
+	if err != nil {
+		// Background never cancels; only an injected fault can land here,
+		// and the bench harness runs with the registry disarmed.
+		panic(err)
+	}
+	return total
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"path/filepath"
@@ -139,7 +140,7 @@ func allocFixture(t *testing.T, ds *dataset.Dataset, k int) (*assigner, []*state
 	// Two full warm-up iterations grow the gather/transpose scratch and the
 	// per-cluster dims buffers to their steady-state capacities.
 	for warm := 0; warm < 2; warm++ {
-		par.assign(ds, clusters, sHat, assign)
+		par.assign(context.Background(), ds, clusters, sHat, assign)
 		for _, st := range clusters {
 			st.members = st.members[:0]
 		}
@@ -148,7 +149,7 @@ func allocFixture(t *testing.T, ds *dataset.Dataset, k int) (*assigner, []*state
 				clusters[c].members = append(clusters[c].members, x)
 			}
 		}
-		par.evaluate(ds, clusters, thr)
+		par.evaluate(context.Background(), ds, clusters, thr)
 	}
 	return par, clusters, sHat, assign, thr
 }
@@ -164,7 +165,7 @@ func TestAssignZeroAllocSteadyState(t *testing.T) {
 	for label, ds := range storageVariants(t, gt.Data, 4) {
 		par, clusters, sHat, assign, _ := allocFixture(t, ds, 3)
 		if allocs := testing.AllocsPerRun(10, func() {
-			par.assign(ds, clusters, sHat, assign)
+			par.assign(context.Background(), ds, clusters, sHat, assign)
 		}); allocs != 0 {
 			t.Errorf("%s: assignment kernel allocs/op = %v, want 0", label, allocs)
 		}
@@ -182,7 +183,7 @@ func TestEvaluateZeroAllocSteadyState(t *testing.T) {
 	for label, ds := range storageVariants(t, gt.Data, 4) {
 		par, clusters, _, _, thr := allocFixture(t, ds, 3)
 		if allocs := testing.AllocsPerRun(10, func() {
-			par.evaluate(ds, clusters, thr)
+			par.evaluate(context.Background(), ds, clusters, thr)
 		}); allocs != 0 {
 			t.Errorf("%s: evaluation kernel allocs/op = %v, want 0", label, allocs)
 		}

@@ -32,16 +32,26 @@ type state struct {
 // reduced in restart order, and ties on φ keep the lowest restart — Workers
 // and ChunkSize never change the output.
 func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
+	return RunContext(context.Background(), ds, opts)
+}
+
+// RunContext is Run under a context: cancellation is checked at every restart
+// launch, every main-loop iteration, and every chunk boundary of the Step-3
+// assignment and Step-4 evaluation scans, so a canceled fit returns
+// context.Cause(ctx) — never a partial result — within a bounded amount of
+// work. A run that completes is byte-identical to Run: the checks observe the
+// context, never the data.
+func RunContext(ctx context.Context, ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	opts, err := opts.normalized(ds)
 	if err != nil {
 		return nil, err
 	}
 	intra := engine.SplitBudget(opts.Workers, opts.Restarts)
 	// Stream degenerates to Run's fixed fan-out when EarlyStop <= 0.
-	results, err := engine.Stream(context.Background(), opts.Restarts, opts.Workers,
+	results, err := engine.Stream(ctx, opts.Restarts, opts.Workers,
 		opts.Seed, opts.EarlyStop, cluster.BetterResult,
 		func(restart int, rng *stats.RNG) (*cluster.Result, error) {
-			return runOnce(ds, opts, restart, rng, intra)
+			return runOnce(ctx, ds, opts, restart, rng, intra)
 		})
 	if err != nil {
 		return nil, err
@@ -56,7 +66,7 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 // parallelizing the assignment and dimension re-selection steps across up
 // to intra goroutines. Everything it touches is restart-local except the
 // read-only dataset and the (internally synchronized) trace.
-func runOnce(ds *dataset.Dataset, opts Options, restart int, rng *stats.RNG, intra int) (*cluster.Result, error) {
+func runOnce(ctx context.Context, ds *dataset.Dataset, opts Options, restart int, rng *stats.RNG, intra int) (*cluster.Result, error) {
 	thr := newThresholds(ds, opts)
 
 	private, public, err := initialize(ds, opts, thr, rng)
@@ -103,6 +113,9 @@ func runOnce(ds *dataset.Dataset, opts Options, restart int, rng *stats.RNG, int
 	iterations := 0
 	stall := 0
 	for iterations < opts.MaxIterations && stall < opts.MaxStall {
+		if err := engine.Cause(ctx); err != nil {
+			return nil, err
+		}
 		iterations++
 
 		// Step 3: assign every object to the cluster whose φ_i it improves
@@ -112,7 +125,9 @@ func runOnce(ds *dataset.Dataset, opts Options, restart int, rng *stats.RNG, int
 		for i, st := range clusters {
 			thr.values(st.prevSize, sHat[i])
 		}
-		par.assign(ds, clusters, sHat, assign)
+		if err := par.assign(ctx, ds, clusters, sHat, assign); err != nil {
+			return nil, err
+		}
 		for _, st := range clusters {
 			st.members = st.members[:0]
 		}
@@ -125,7 +140,11 @@ func runOnce(ds *dataset.Dataset, opts Options, restart int, rng *stats.RNG, int
 		// Step 4: redetermine the selected dimensions with the actual
 		// medians (one worker per cluster) and compute the overall objective
 		// score by ordered reduction over cluster indices.
-		score := overallPhi(par.evaluate(ds, clusters, thr), n, d)
+		phiSum, err := par.evaluate(ctx, ds, clusters, thr)
+		if err != nil {
+			return nil, err
+		}
+		score := overallPhi(phiSum, n, d)
 
 		// Step 5: record or restore the best clusters.
 		improved := score > bestScore

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -208,13 +209,20 @@ func consensusScore(ds *dataset.Dataset, thr *thresholds, reference []int, dims 
 // SSPC with the cleaned inputs. It returns the clustering and the report so
 // callers can surface what was discarded.
 func RunValidated(ds *dataset.Dataset, opts Options, objectTolerance float64) (*cluster.Result, *KnowledgeReport, error) {
+	return RunValidatedContext(context.Background(), ds, opts, objectTolerance)
+}
+
+// RunValidatedContext is RunValidated under a context, with RunContext's
+// cancellation contract for the fit itself (validation is cheap and runs to
+// completion).
+func RunValidatedContext(ctx context.Context, ds *dataset.Dataset, opts Options, objectTolerance float64) (*cluster.Result, *KnowledgeReport, error) {
 	report, err := ValidateKnowledge(ds, opts.Knowledge, opts, objectTolerance)
 	if err != nil {
 		return nil, nil, err
 	}
 	cleaned := opts
 	cleaned.Knowledge = report.Apply(opts.Knowledge)
-	res, err := Run(ds, cleaned)
+	res, err := RunContext(ctx, ds, cleaned)
 	if err != nil {
 		return nil, nil, err
 	}

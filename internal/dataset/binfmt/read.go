@@ -9,6 +9,7 @@ import (
 	"unsafe"
 
 	"repro/internal/dataset"
+	"repro/internal/faults"
 )
 
 // hostLittleEndian reports whether float64/uint64 loads through an aliased
@@ -46,6 +47,9 @@ type File struct {
 // a dataset, so corrupted or truncated inputs cannot produce garbage
 // clusters.
 func OpenBinary(path string) (*File, error) {
+	if err := faults.Check(faults.SiteMmapOpen); err != nil {
+		return nil, fmt.Errorf("%s: open: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/stats"
 )
 
@@ -152,6 +153,7 @@ func (ds *Dataset) Row(i int) []float64 {
 // the ascending member lists the algorithms produce, that is once per shard
 // crossing, never per element.
 func (ds *Dataset) GatherRows(members []int, dst []float64) []float64 {
+	faults.MustCheck(faults.SiteShardGather)
 	d := ds.d
 	dst = dst[:len(members)*d]
 	if ds.data != nil {
@@ -193,6 +195,7 @@ func (ds *Dataset) GatherRows(members []int, dst []float64) []float64 {
 // leaves the previously resolved shard, so subset column scans pay no
 // per-element shard dispatch.
 func (ds *Dataset) GatherColumn(members []int, j int, dst []float64) []float64 {
+	faults.MustCheck(faults.SiteShardGather)
 	dst = dst[:len(members)]
 	if ds.data != nil {
 		for t, i := range members {

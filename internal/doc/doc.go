@@ -80,6 +80,14 @@ func DefaultOptions(k int, w float64) Options {
 // restart engine and the highest-scoring run wins, so the result is a pure
 // function of (ds, opts) regardless of the worker count.
 func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
+	return RunContext(context.Background(), ds, opts)
+}
+
+// RunContext is Run under a context: cancellation is checked at every restart
+// launch, every Monte-Carlo inner trial, and every chunk boundary of the
+// box-membership scan, so a canceled run returns context.Cause(ctx) — never
+// a partial result. A run that completes is byte-identical to Run.
+func RunContext(ctx context.Context, ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if ds == nil {
 		return nil, errors.New("doc: nil dataset")
 	}
@@ -112,10 +120,10 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	// scan without confining it to one shard's memory.
 	intra := engine.SplitBudget(opts.Workers, restarts)
 	// Stream degenerates to Run's fixed fan-out when EarlyStop <= 0.
-	results, err := engine.Stream(context.Background(), restarts, opts.Workers,
+	results, err := engine.Stream(ctx, restarts, opts.Workers,
 		opts.Seed, opts.EarlyStop, cluster.BetterResult,
 		func(_ int, rng *stats.RNG) (*cluster.Result, error) {
-			return runOnce(ds, opts, rng, intra)
+			return runOnce(ctx, ds, opts, rng, intra)
 		})
 	if err != nil {
 		return nil, err
@@ -125,7 +133,7 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 
 // runOnce executes one Monte-Carlo DOC run with its own RNG, parallelizing
 // the box-membership scans across up to intra goroutines.
-func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*cluster.Result, error) {
+func runOnce(ctx context.Context, ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*cluster.Result, error) {
 	n, d := ds.N(), ds.D()
 
 	// Discriminating set size r = ceil(log(2d)/log(1/2β)).
@@ -175,6 +183,9 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*clu
 			p := remaining[rng.Intn(len(remaining))]
 			prow := ds.Row(p)
 			for in := 0; in < inner; in++ {
+				if err := engine.Cause(ctx); err != nil {
+					return nil, err
+				}
 				iterations++
 				X := rng.SampleFrom(remaining, minInt(r, len(remaining)))
 				var D []int
@@ -199,7 +210,10 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*clu
 					// end of the inner loop.
 					if bestDims == nil || len(D) > len(bestDims) ||
 						(len(D) == len(bestDims) && bestMembers == nil) {
-						members := boxMembers(ds, remaining, prow, D, opts.W, intra, opts.ChunkSize)
+						members, err := boxMembers(ctx, ds, remaining, prow, D, opts.W, intra, opts.ChunkSize)
+						if err != nil {
+							return nil, err
+						}
 						if len(members) < minSize {
 							continue
 						}
@@ -210,7 +224,10 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*clu
 					}
 					continue
 				}
-				members := boxMembers(ds, remaining, prow, D, opts.W, intra, opts.ChunkSize)
+				members, err := boxMembers(ctx, ds, remaining, prow, D, opts.W, intra, opts.ChunkSize)
+				if err != nil {
+					return nil, err
+				}
 				if len(members) < minSize {
 					continue
 				}
@@ -293,8 +310,8 @@ func mu(a, b int, beta float64) float64 {
 // collects its own ordered sub-list and the ordered fold concatenates them
 // in chunk-index order, so the member list is byte-identical to the serial
 // scan for every workers/chunkSize value.
-func boxMembers(ds *dataset.Dataset, remaining []int, prow []float64, D []int, w float64, workers, chunkSize int) []int {
-	return engine.MapChunks(len(remaining), chunkSize, workers, func(_, lo, hi int) []int {
+func boxMembers(ctx context.Context, ds *dataset.Dataset, remaining []int, prow []float64, D []int, w float64, workers, chunkSize int) ([]int, error) {
+	return engine.MapChunksCtx(ctx, len(remaining), chunkSize, workers, func(_, lo, hi int) []int {
 		var out []int
 		for _, q := range remaining[lo:hi] {
 			qrow := ds.Row(q)

@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faults"
 )
 
 // This file holds the intra-restart primitives: the fixed-boundary chunk
@@ -13,6 +16,11 @@ import (
 // on chunkSize — never on the worker count or on scheduling — so output is a
 // pure function of (input, chunkSize-independent math), byte-identical for
 // every Workers/ChunkSize combination.
+//
+// Every variant funnels into the same ctx-aware scheduler: the legacy void
+// signatures pass context.Background(), whose Err is a nil-returning no-op,
+// so they keep their allocation-free serial path while inheriting the
+// per-chunk fault gate and the panic containment of the parallel tail.
 
 // SplitBudget splits the total worker budget between concurrent restarts and
 // the chunked loops inside each restart: with W workers and R restarts,
@@ -56,6 +64,22 @@ func AlignChunk(chunkSize, shardRows int) int {
 	return chunkSize
 }
 
+// chunkGate is the cooperative check taken before every chunk dispatch: the
+// fault-injection hook first (a single atomic load when disarmed), then the
+// context. A canceled ctx surfaces as context.Cause(ctx), so a caller that
+// canceled with a cause sees that cause, and a plain cancel or deadline sees
+// context.Canceled / context.DeadlineExceeded. Neither check allocates, which
+// keeps the serial chunk path inside the zero-alloc kernel pins.
+func chunkGate(ctx context.Context) error {
+	if err := faults.Check(faults.SiteChunkExec); err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return nil
+}
+
 // ParallelChunks splits [0, total) into contiguous ranges of chunkSize
 // elements (the last one shorter) and runs fn over them on up to `workers`
 // goroutines. Chunk boundaries depend only on chunkSize, never on the worker
@@ -68,45 +92,108 @@ func AlignChunk(chunkSize, shardRows int) int {
 // buffers (see Scratch). Slot assignment is scheduling-dependent; fn must use
 // the slot for scratch only, never to influence output values. workers <= 1
 // or total <= chunkSize runs everything inline on slot 0.
+//
+// ParallelChunks is ParallelChunksCtx over context.Background(); the only
+// error that path can produce is an injected chunk-execution fault, which is
+// raised as a panic and contained at the engine's restart boundary.
 func ParallelChunks(total, chunkSize, workers int, fn func(worker, lo, hi int)) {
+	if err := ParallelChunksCtx(context.Background(), total, chunkSize, workers, fn); err != nil {
+		panic(err)
+	}
+}
+
+// ParallelChunksCtx is the ctx-aware chunk scheduler: identical boundaries
+// and worker-slot semantics to ParallelChunks, plus a cooperative gate before
+// every chunk dispatch. When ctx is canceled mid-scan it stops issuing chunks
+// and returns context.Cause(ctx) within one chunk boundary per worker;
+// already-dispatched chunks run to completion, so fn's writes stay confined
+// to chunks the scheduler actually issued. Partial output must be treated as
+// garbage by the caller whenever the return is non-nil — the determinism
+// contract only covers completed calls, which remain byte-identical to the
+// void signature for every Workers/ChunkSize combination.
+func ParallelChunksCtx(ctx context.Context, total, chunkSize, workers int, fn func(worker, lo, hi int)) error {
 	if total <= 0 {
-		return
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if chunkSize <= 0 {
 		chunkSize = total
 	}
 	if workers <= 1 || total <= chunkSize {
 		for lo := 0; lo < total; lo += chunkSize {
+			if err := chunkGate(ctx); err != nil {
+				return err
+			}
 			hi := lo + chunkSize
 			if hi > total {
 				hi = total
 			}
 			fn(0, lo, hi)
 		}
-		return
+		return nil
 	}
-	parallelChunks(total, chunkSize, workers, fn)
+	return parallelChunksCtx(ctx, total, chunkSize, workers, fn)
 }
 
-// parallelChunks is the multi-goroutine tail of ParallelChunks, split out so
-// the serial path above stays allocation-free: the chunk cursor and wait
-// group below are captured by the worker goroutines and therefore live on
-// the heap, a cost only the path that actually spawns goroutines should pay
-// (the zero-alloc kernel pins in core run through the serial path).
-func parallelChunks(total, chunkSize, workers int, fn func(worker, lo, hi int)) {
+// parallelChunksCtx is the multi-goroutine tail, split out so the serial path
+// above stays allocation-free: the chunk cursor, wait group, and error slots
+// below are captured by the worker goroutines and therefore live on the heap,
+// a cost only the path that actually spawns goroutines should pay (the
+// zero-alloc kernel pins in core run through the serial path).
+//
+// A worker that trips the gate records its error under errMu (lowest chunk
+// index wins, so the reported error is scheduling-independent whenever a
+// deterministic gate — an expired deadline, an armed fault — trips every
+// worker) and flips stop so siblings cease pulling chunks. A panicking fn is
+// recovered on the worker, and the first panic value is re-raised on the
+// calling goroutine after the pool drains, so restart-boundary containment
+// in Run/Stream sees it exactly as if the chunk had run inline.
+func parallelChunksCtx(ctx context.Context, total, chunkSize, workers int, fn func(worker, lo, hi int)) error {
 	chunks := (total + chunkSize - 1) / chunkSize
 	if workers > chunks {
 		workers = chunks
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		errChunk = -1
+		firstErr error
+		panicked any
+	)
+	record := func(c int, err error) {
+		errMu.Lock()
+		if errChunk < 0 || c < errChunk {
+			errChunk, firstErr = c, err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	recordPanic := func(pv any) {
+		errMu.Lock()
+		if panicked == nil {
+			panicked = pv
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
 			for {
+				if stop.Load() {
+					return
+				}
 				c := int(next.Add(1)) - 1
 				if c >= chunks {
+					return
+				}
+				if err := chunkGate(ctx); err != nil {
+					record(c, err)
 					return
 				}
 				lo := c * chunkSize
@@ -114,11 +201,34 @@ func parallelChunks(total, chunkSize, workers int, fn func(worker, lo, hi int)) 
 				if hi > total {
 					hi = total
 				}
-				fn(worker, lo, hi)
+				if pv := runChunk(fn, worker, lo, hi); pv != nil {
+					recordPanic(pv)
+					return
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	// A panic always outranks a gate error: it may be a genuine bug and must
+	// keep unwinding toward the restart-boundary containment, never be
+	// swallowed by a concurrent cancellation.
+	if panicked != nil {
+		panic(panicked)
+	}
+	return firstErr
+}
+
+// runChunk invokes one chunk and converts a panic into a value instead of
+// letting it unwind a pool goroutine (which would kill the process before
+// the restart-boundary recover in Run/Stream could contain it).
+func runChunk(fn func(worker, lo, hi int), worker, lo, hi int) (panicked any) {
+	defer func() {
+		if v := recover(); v != nil {
+			panicked = v
+		}
+	}()
+	fn(worker, lo, hi)
+	return nil
 }
 
 // MapChunks runs fn over the same fixed chunks as ParallelChunks, collects
@@ -136,6 +246,15 @@ func MapChunks[R any](total, chunkSize, workers int, fn func(worker, lo, hi int)
 	return MapChunksInto(total, chunkSize, workers, nil, fn, fold)
 }
 
+// MapChunksCtx is the ctx-aware MapChunks: same boundaries, same ordered
+// fold, plus the per-chunk cooperative gate of ParallelChunksCtx. A canceled
+// ctx (or an armed chunk-execution fault) aborts the reduction and returns
+// the zero R with context.Cause(ctx) / the injected error — never a partial
+// fold. Completed calls are byte-identical to MapChunks.
+func MapChunksCtx[R any](ctx context.Context, total, chunkSize, workers int, fn func(worker, lo, hi int) R, fold func(acc, chunk R) R) (R, error) {
+	return MapChunksIntoCtx(ctx, total, chunkSize, workers, nil, fn, fold)
+}
+
 // MapChunksInto is MapChunks with a caller-owned per-chunk results buffer:
 // the multi-worker path needs one R slot per chunk, and reuses buf's backing
 // array when cap(buf) covers the chunk count instead of allocating a fresh
@@ -146,26 +265,53 @@ func MapChunks[R any](total, chunkSize, workers int, fn func(worker, lo, hi int)
 // contents never leak into the result. buf == nil (or too small) falls back
 // to allocating, which is exactly MapChunks.
 func MapChunksInto[R any](total, chunkSize, workers int, buf []R, fn func(worker, lo, hi int) R, fold func(acc, chunk R) R) R {
+	res, err := MapChunksIntoCtx(context.Background(), total, chunkSize, workers, buf, fn, fold)
+	if err != nil {
+		// Background never cancels, so the only error this path can see is
+		// an injected chunk-execution fault; raise it toward the
+		// restart-boundary containment like the void scheduler does.
+		panic(err)
+	}
+	return res
+}
+
+// MapChunksIntoCtx is MapChunksInto with the cooperative per-chunk gate of
+// ParallelChunksCtx: the buffer-reuse contract and the ordered fold are
+// unchanged, and a non-nil error (cancellation cause or injected fault) is
+// returned with the zero R — an interrupted reduction never folds.
+func MapChunksIntoCtx[R any](ctx context.Context, total, chunkSize, workers int, buf []R, fn func(worker, lo, hi int) R, fold func(acc, chunk R) R) (R, error) {
+	var zero R
 	if total <= 0 {
-		var zero R
-		return zero
+		return zero, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if chunkSize <= 0 {
 		chunkSize = total
 	}
 	if total <= chunkSize {
-		return fn(0, 0, total)
+		if err := chunkGate(ctx); err != nil {
+			return zero, err
+		}
+		return fn(0, 0, total), nil
 	}
 	if workers <= 1 {
+		if err := chunkGate(ctx); err != nil {
+			return zero, err
+		}
 		acc := fn(0, 0, chunkSize)
 		for lo := chunkSize; lo < total; lo += chunkSize {
+			if err := chunkGate(ctx); err != nil {
+				return zero, err
+			}
 			hi := lo + chunkSize
 			if hi > total {
 				hi = total
 			}
 			acc = fold(acc, fn(0, lo, hi))
 		}
-		return acc
+		return acc, nil
 	}
 	chunks := (total + chunkSize - 1) / chunkSize
 	var results []R
@@ -174,14 +320,16 @@ func MapChunksInto[R any](total, chunkSize, workers int, buf []R, fn func(worker
 	} else {
 		results = make([]R, chunks)
 	}
-	ParallelChunks(total, chunkSize, workers, func(worker, lo, hi int) {
+	if err := ParallelChunksCtx(ctx, total, chunkSize, workers, func(worker, lo, hi int) {
 		results[lo/chunkSize] = fn(worker, lo, hi)
-	})
+	}); err != nil {
+		return zero, err
+	}
 	acc := results[0]
 	for _, r := range results[1:] {
 		acc = fold(acc, r)
 	}
-	return acc
+	return acc, nil
 }
 
 // Scratch hands each worker slot of a ParallelChunks / MapChunks call its

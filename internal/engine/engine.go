@@ -15,9 +15,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/stats"
 )
 
@@ -57,6 +59,71 @@ func ChildSeed(base int64, restart int) int64 {
 	return int64(z)
 }
 
+// Cause reports why ctx ended: context.Cause(ctx) once ctx is done, nil
+// while it is live. It is the cancellation check every cooperative loop in
+// this repository uses — a nil-safe, allocation-free probe whose non-nil
+// return is always the error the caller should propagate verbatim
+// (context.Canceled, context.DeadlineExceeded, or a custom cancel cause).
+func Cause(ctx context.Context) error {
+	if ctx == nil || ctx.Err() == nil {
+		return nil
+	}
+	return context.Cause(ctx)
+}
+
+// PanicError is the typed failure a panicking restart is contained into: the
+// engine recovers the panic (on whichever goroutine ran the restart — chunk
+// pool workers re-raise onto the restart goroutine first), records the value
+// and stack, and fails the run with this error instead of crashing the
+// process. Unwrap exposes the panic value when it is itself an error, so
+// errors.Is / errors.As see through the containment (an injected
+// faults.ModePanic still matches faults.ErrInjected).
+type PanicError struct {
+	Restart int
+	Value   any
+	Stack   []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: restart %d panicked: %v", e.Restart, e.Value)
+}
+
+// Unwrap returns the panic value if it was an error, nil otherwise.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// safeCall invokes one restart with panic containment and the restart-launch
+// fault gate inside the recover scope (so an injected launch panic is
+// contained exactly like a panic from fn itself).
+func safeCall[R any](r int, rng *stats.RNG, fn func(restart int, rng *stats.RNG) (R, error)) (res R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Restart: r, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if gateErr := faults.Check(faults.SiteRestartLaunch); gateErr != nil {
+		var zero R
+		return zero, gateErr
+	}
+	return fn(r, rng)
+}
+
+// restartErr wraps a restart failure with its index — unless the failure is
+// the caller's own cancellation bubbling back up (a cooperative loop inside
+// fn observed ctx and returned its cause), in which case the bare cause is
+// returned so callers always see context.Canceled / context.DeadlineExceeded
+// for a canceled run, never a restart-wrapped partial-failure message.
+func restartErr(ctx context.Context, r int, err error) error {
+	if c := Cause(ctx); c != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return c
+	}
+	return fmt.Errorf("engine: restart %d: %w", r, err)
+}
+
 // Run executes fn for restarts 0..n-1 across at most `workers` goroutines
 // (<= 0 means GOMAXPROCS) and returns the per-restart results in restart
 // order. Each invocation receives a fresh RNG seeded with
@@ -65,7 +132,9 @@ func ChildSeed(base int64, restart int) int64 {
 //
 // The first failing restart cancels the remaining ones; the error reported
 // is the recorded failure with the lowest restart index, wrapped with that
-// index. A canceled ctx stops the run and returns ctx's error.
+// index. A canceled ctx stops the run and returns context.Cause(ctx). A
+// panicking restart is contained into a typed *PanicError instead of
+// crashing the process.
 func Run[R any](ctx context.Context, n, workers int, seed int64, fn func(restart int, rng *stats.RNG) (R, error)) ([]R, error) {
 	if fn == nil {
 		return nil, errors.New("engine: nil restart function")
@@ -84,12 +153,12 @@ func Run[R any](ctx context.Context, n, workers int, seed int64, fn func(restart
 
 	if workers == 1 {
 		for r := 0; r < n; r++ {
-			if err := ctx.Err(); err != nil {
+			if err := Cause(ctx); err != nil {
 				return nil, err
 			}
-			res, err := fn(r, stats.NewRNG(ChildSeed(seed, r)))
+			res, err := safeCall(r, stats.NewRNG(ChildSeed(seed, r)), fn)
 			if err != nil {
-				return nil, fmt.Errorf("engine: restart %d: %w", r, err)
+				return nil, restartErr(ctx, r, err)
 			}
 			results[r] = res
 		}
@@ -116,7 +185,7 @@ func Run[R any](ctx context.Context, n, workers int, seed int64, fn func(restart
 					skipped.Store(true)
 					return
 				}
-				res, err := fn(r, stats.NewRNG(ChildSeed(seed, r)))
+				res, err := safeCall(r, stats.NewRNG(ChildSeed(seed, r)), fn)
 				if err != nil {
 					errs[r] = err
 					cancel()
@@ -130,12 +199,12 @@ func Run[R any](ctx context.Context, n, workers int, seed int64, fn func(restart
 
 	for r, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("engine: restart %d: %w", r, err)
+			return nil, restartErr(ctx, r, err)
 		}
 	}
 	if skipped.Load() {
 		// No restart failed but some never ran: the parent ctx was canceled.
-		return nil, ctx.Err()
+		return nil, Cause(ctx)
 	}
 	return results, nil
 }
@@ -185,12 +254,12 @@ func Stream[R any](ctx context.Context, n, workers int, seed int64, plateau int,
 		var results []R
 		bestIdx := 0
 		for r := 0; r < n; r++ {
-			if err := ctx.Err(); err != nil {
+			if err := Cause(ctx); err != nil {
 				return nil, err
 			}
-			res, err := fn(r, stats.NewRNG(ChildSeed(seed, r)))
+			res, err := safeCall(r, stats.NewRNG(ChildSeed(seed, r)), fn)
 			if err != nil {
-				return nil, fmt.Errorf("engine: restart %d: %w", r, err)
+				return nil, restartErr(ctx, r, err)
 			}
 			results = append(results, res)
 			if r > 0 && better(res, results[bestIdx]) {
@@ -246,7 +315,7 @@ func Stream[R any](ctx context.Context, n, workers int, seed int64, plateau int,
 				if r >= n {
 					return
 				}
-				res, err := fn(r, stats.NewRNG(ChildSeed(seed, r)))
+				res, err := safeCall(r, stats.NewRNG(ChildSeed(seed, r)), fn)
 				if err != nil {
 					errs[r] = err
 				} else {
@@ -269,10 +338,10 @@ func Stream[R any](ctx context.Context, n, workers int, seed int64, plateau int,
 			close(stopCh)
 			cancel()
 			wg.Wait()
-			return nil, ctx.Err()
+			return nil, Cause(ctx)
 		}
 		if errs[r] != nil {
-			firstErr = fmt.Errorf("engine: restart %d: %w", r, errs[r])
+			firstErr = restartErr(ctx, r, errs[r])
 			break
 		}
 		consumed = r + 1

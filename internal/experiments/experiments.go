@@ -148,8 +148,8 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 // repeats and stops once the best score has plateaued for that many
 // consecutive repeats (still judged in repeat order — the winner stays
 // worker-count invariant); 0 always runs all repeats.
-func bestOf(repeats, workers, earlyStop int, baseSeed int64, fn func(seed int64) (*cluster.Result, error)) (*cluster.Result, error) {
-	results, err := engine.Stream(context.Background(), repeats, workers, baseSeed, earlyStop,
+func bestOf(ctx context.Context, repeats, workers, earlyStop int, baseSeed int64, fn func(seed int64) (*cluster.Result, error)) (*cluster.Result, error) {
+	results, err := engine.Stream(ctx, repeats, workers, baseSeed, earlyStop,
 		cluster.BetterResult,
 		func(r int, _ *stats.RNG) (*cluster.Result, error) {
 			return fn(baseSeed + int64(r))
@@ -169,8 +169,8 @@ func bestOf(repeats, workers, earlyStop int, baseSeed int64, fn func(seed int64)
 // its own captured variables) concurrently on up to `workers` goroutines.
 // Cells must not share mutable state; determinism is theirs to keep — every
 // cell in this package is a pure function of the config seeds.
-func parallelCells(workers int, cells ...func() error) error {
-	_, err := engine.Run(context.Background(), len(cells), workers, 0,
+func parallelCells(ctx context.Context, workers int, cells ...func() error) error {
+	_, err := engine.Run(ctx, len(cells), workers, 0,
 		func(i int, _ *stats.RNG) (struct{}, error) {
 			return struct{}{}, cells[i]()
 		})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -15,7 +16,11 @@ import (
 // dataset (paper: 1500 + 1500 = 3000 dimensions, 1% dimensionality each).
 // HARP, PROCLUS (with the true l), raw SSPC, and SSPC guided by inputs from
 // each grouping are evaluated against both ground truths.
-func Figure7(cfg Config) (*Table, error) {
+func Figure7(cfg Config) (*Table, error) { return Figure7Context(context.Background(), cfg) }
+
+// Figure7Context is Figure7 under a context; every fit follows the shared
+// cancellation contract.
+func Figure7Context(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.normalized()
 	half := scaleInt(1500, cfg.Scale, 300)
 	lreal := half / 50 // 1% of the combined dimensionality = 2% of each half
@@ -59,7 +64,7 @@ func Figure7(cfg Config) (*Table, error) {
 	// HARP (deterministic).
 	hopts := harp.DefaultOptions(k)
 	hopts.ChunkSize = cfg.ChunkSize
-	hr, err := harp.Run(mg.Data, hopts)
+	hr, err := harp.RunContext(ctx, mg.Data, hopts)
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +75,7 @@ func Figure7(cfg Config) (*Table, error) {
 	t.Add("HARP", h1, h2)
 
 	// PROCLUS with the correct l.
-	pr, err := proclusBest(mg.First, k, lreal, cfg)
+	pr, err := proclusBest(ctx, mg.First, k, lreal, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +86,7 @@ func Figure7(cfg Config) (*Table, error) {
 	t.Add("PROCLUS", p1, p2)
 
 	// Raw SSPC.
-	raw, err := sspcBest(mg.First, k, core.SchemeM, 0.5, nil, cfg)
+	raw, err := sspcBest(ctx, mg.First, k, core.SchemeM, 0.5, nil, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -101,14 +106,14 @@ func Figure7(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := bestOf(cfg.Repeats, cfg.Workers, cfg.EarlyStop, cfg.Seed, func(s int64) (*cluster.Result, error) {
+		res, err := bestOf(ctx, cfg.Repeats, cfg.Workers, cfg.EarlyStop, cfg.Seed, func(s int64) (*cluster.Result, error) {
 			opts := core.DefaultOptions(k)
 			opts.M = 0.5
 			opts.Knowledge = kn
 			opts.Seed = s
 			opts.Workers = 1 // repeats carry the concurrency; see sspcBest
 			opts.ChunkSize = cfg.ChunkSize
-			return core.Run(mg.Data, opts)
+			return core.RunContext(ctx, mg.Data, opts)
 		})
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,7 +24,7 @@ func timeRuns(repeats int, fn func(seed int64) error) (float64, error) {
 
 // scalability generates a dataset for each (n, d) point and times SSPC and
 // PROCLUS on it.
-func scalability(cfg Config, points [][2]int, label func(p [2]int) string, title string) (*Table, error) {
+func scalability(ctx context.Context, cfg Config, points [][2]int, label func(p [2]int) string, title string) (*Table, error) {
 	cfg = cfg.normalized()
 	const k, lreal = 5, 10
 	t := &Table{
@@ -51,7 +52,7 @@ func scalability(cfg Config, points [][2]int, label func(p [2]int) string, title
 			opts.Seed = seed
 			opts.Workers = 1
 			opts.ChunkSize = cfg.ChunkSize
-			_, err := core.Run(gt.Data, opts)
+			_, err := core.RunContext(ctx, gt.Data, opts)
 			return err
 		})
 		if err != nil {
@@ -62,7 +63,7 @@ func scalability(cfg Config, points [][2]int, label func(p [2]int) string, title
 			opts.Seed = seed
 			opts.Workers = 1
 			opts.ChunkSize = cfg.ChunkSize
-			_, err := proclus.Run(gt.Data, opts)
+			_, err := proclus.RunContext(ctx, gt.Data, opts)
 			return err
 		})
 		if err != nil {
@@ -75,26 +76,34 @@ func scalability(cfg Config, points [][2]int, label func(p [2]int) string, title
 
 // Figure8a regenerates the dataset-size scalability series: execution time
 // of repeated SSPC and PROCLUS runs as n grows with d fixed (§5.5).
-func Figure8a(cfg Config) (*Table, error) {
+func Figure8a(cfg Config) (*Table, error) { return Figure8aContext(context.Background(), cfg) }
+
+// Figure8aContext is Figure8a under a context; the timed fits follow the
+// shared cancellation contract.
+func Figure8aContext(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.normalized()
 	base := scaleInt(1000, cfg.Scale, 250)
 	points := [][2]int{
 		{base, 100}, {2 * base, 100}, {4 * base, 100}, {8 * base, 100},
 	}
-	return scalability(cfg, points,
+	return scalability(ctx, cfg, points,
 		func(p [2]int) string { return fmt.Sprintf("n=%d", p[0]) },
 		fmt.Sprintf("Figure 8a: execution time of %d repeated runs vs n (d=100)", cfg.normalized().Repeats))
 }
 
 // Figure8b regenerates the dimensionality scalability series: execution
 // time as d grows with n fixed (§5.5).
-func Figure8b(cfg Config) (*Table, error) {
+func Figure8b(cfg Config) (*Table, error) { return Figure8bContext(context.Background(), cfg) }
+
+// Figure8bContext is Figure8b under a context; the timed fits follow the
+// shared cancellation contract.
+func Figure8bContext(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.normalized()
 	baseN := scaleInt(1000, cfg.Scale, 250)
 	points := [][2]int{
 		{baseN, 100}, {baseN, 200}, {baseN, 400}, {baseN, 800},
 	}
-	return scalability(cfg, points,
+	return scalability(ctx, cfg, points,
 		func(p [2]int) string { return fmt.Sprintf("d=%d", p[1]) },
 		fmt.Sprintf("Figure 8b: execution time of %d repeated runs vs d (n=%d)", cfg.normalized().Repeats, baseN))
 }

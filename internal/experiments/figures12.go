@@ -1,16 +1,22 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/engine"
 )
 
 // Figure1 regenerates the analysis curves of Figure 1: the probability that
 // at least one grid is formed by relevant dimensions only, as a function of
 // the number of labeled objects, for several d_i/d ratios. Parameters match
 // §4.5: d = 3000, p = 0.01, c = 3, g = 20, variance ratio 0.15.
-func Figure1() (*Table, error) {
+func Figure1() (*Table, error) { return Figure1Context(context.Background()) }
+
+// Figure1Context is Figure1 under a context; the analysis sums are cheap, so
+// cancellation is checked once per x-point.
+func Figure1Context(ctx context.Context) (*Table, error) {
 	ratios := []float64{0.01, 0.02, 0.05, 0.10}
 	t := &Table{
 		Title:  "Figure 1: P(>=1 all-relevant grid) vs labeled objects |Io|",
@@ -20,6 +26,9 @@ func Figure1() (*Table, error) {
 		t.Columns = append(t.Columns, fmt.Sprintf("di/d=%.0f%%", r*100))
 	}
 	for q := 1; q <= 10; q++ {
+		if err := engine.Cause(ctx); err != nil {
+			return nil, err
+		}
 		cells := make([]float64, 0, len(ratios))
 		for _, r := range ratios {
 			p, err := analysis.AtLeastOneRelevantGridObjects(analysis.ObjectsParams{
@@ -40,7 +49,11 @@ func Figure1() (*Table, error) {
 // at least one grid has all building dimensions relevant to the target
 // cluster only, as a function of the number of labeled dimensions, with
 // k = 5.
-func Figure2() (*Table, error) {
+func Figure2() (*Table, error) { return Figure2Context(context.Background()) }
+
+// Figure2Context is Figure2 under a context; the analysis sums are cheap, so
+// cancellation is checked once per x-point.
+func Figure2Context(ctx context.Context) (*Table, error) {
 	ratios := []float64{0.01, 0.02, 0.05, 0.10}
 	t := &Table{
 		Title:  "Figure 2: P(>=1 exclusive grid) vs labeled dimensions |Iv|",
@@ -50,6 +63,9 @@ func Figure2() (*Table, error) {
 		t.Columns = append(t.Columns, fmt.Sprintf("di/d=%.0f%%", r*100))
 	}
 	for l := 1; l <= 10; l++ {
+		if err := engine.Cause(ctx); err != nil {
+			return nil, err
+		}
 		cells := make([]float64, 0, len(ratios))
 		for _, r := range ratios {
 			p, err := analysis.AtLeastOneExclusiveGridDims(analysis.DimsParams{

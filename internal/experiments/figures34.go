@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/clarans"
@@ -23,9 +24,9 @@ func ariOf(gt *synth.GroundTruth, res *cluster.Result) (float64, error) {
 // concurrency at the cell/repeat level, and an unset Workers would hand
 // every repeat GOMAXPROCS intra-restart goroutines — squaring the total
 // concurrency cfg.Workers is meant to bound.
-func sspcBest(gt *synth.GroundTruth, k int, scheme core.ThresholdScheme, param float64,
+func sspcBest(ctx context.Context, gt *synth.GroundTruth, k int, scheme core.ThresholdScheme, param float64,
 	kn *dataset.Knowledge, cfg Config) (*cluster.Result, error) {
-	return bestOf(cfg.Repeats, cfg.Workers, cfg.EarlyStop, cfg.Seed, func(s int64) (*cluster.Result, error) {
+	return bestOf(ctx, cfg.Repeats, cfg.Workers, cfg.EarlyStop, cfg.Seed, func(s int64) (*cluster.Result, error) {
 		opts := core.DefaultOptions(k)
 		opts.Scheme = scheme
 		if scheme == core.SchemeM {
@@ -37,19 +38,19 @@ func sspcBest(gt *synth.GroundTruth, k int, scheme core.ThresholdScheme, param f
 		opts.Seed = s
 		opts.Workers = 1
 		opts.ChunkSize = cfg.ChunkSize
-		return core.Run(gt.Data, opts)
+		return core.RunContext(ctx, gt.Data, opts)
 	})
 }
 
 // proclusBest runs PROCLUS best-of-repeats (by its cost) for one l, serial
 // inside the cell like sspcBest.
-func proclusBest(gt *synth.GroundTruth, k, l int, cfg Config) (*cluster.Result, error) {
-	return bestOf(cfg.Repeats, cfg.Workers, cfg.EarlyStop, cfg.Seed, func(s int64) (*cluster.Result, error) {
+func proclusBest(ctx context.Context, gt *synth.GroundTruth, k, l int, cfg Config) (*cluster.Result, error) {
+	return bestOf(ctx, cfg.Repeats, cfg.Workers, cfg.EarlyStop, cfg.Seed, func(s int64) (*cluster.Result, error) {
 		opts := proclus.DefaultOptions(k, l)
 		opts.Seed = s
 		opts.Workers = 1
 		opts.ChunkSize = cfg.ChunkSize
-		return proclus.Run(gt.Data, opts)
+		return proclus.RunContext(ctx, gt.Data, opts)
 	})
 }
 
@@ -107,7 +108,11 @@ var (
 // Figure3 regenerates the raw-accuracy comparison: best ARI of CLARANS,
 // HARP, PROCLUS, SSPC(m) and SSPC(p) on datasets with n = 1000, d = 100,
 // k = 5 and average cluster dimensionality 5..40 (§5.1).
-func Figure3(cfg Config) (*Table, error) {
+func Figure3(cfg Config) (*Table, error) { return Figure3Context(context.Background(), cfg) }
+
+// Figure3Context is Figure3 under a context; every cell's fits follow the
+// shared cancellation contract.
+func Figure3Context(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.normalized()
 	n := scaleInt(1000, cfg.Scale, 300)
 	const d, k = 100, 5
@@ -135,14 +140,14 @@ func Figure3(cfg Config) (*Table, error) {
 		inner.Workers = 1
 		var claransARI, harpARI, proclusARI, sspcM, sspcP float64
 		lreal := lreal
-		err = parallelCells(cfg.Workers,
+		err = parallelCells(ctx, cfg.Workers,
 			func() error {
-				clr, err := bestOf(inner.Repeats, inner.Workers, inner.EarlyStop, inner.Seed, func(s int64) (*cluster.Result, error) {
+				clr, err := bestOf(ctx, inner.Repeats, inner.Workers, inner.EarlyStop, inner.Seed, func(s int64) (*cluster.Result, error) {
 					opts := clarans.DefaultOptions(k)
 					opts.Seed = s
 					opts.Workers = 1
 					opts.ChunkSize = cfg.ChunkSize
-					return clarans.Run(gt.Data, opts)
+					return clarans.RunContext(ctx, gt.Data, opts)
 				})
 				if err != nil {
 					return err
@@ -154,7 +159,7 @@ func Figure3(cfg Config) (*Table, error) {
 				hopts := harp.DefaultOptions(k)
 				hopts.Workers = 1
 				hopts.ChunkSize = cfg.ChunkSize
-				hr, err := harp.Run(gt.Data, hopts)
+				hr, err := harp.RunContext(ctx, gt.Data, hopts)
 				if err != nil {
 					return err
 				}
@@ -168,21 +173,21 @@ func Figure3(cfg Config) (*Table, error) {
 				}
 				var err error
 				proclusARI, err = bestARIOverParams(gt, func(p float64) (*cluster.Result, error) {
-					return proclusBest(gt, k, int(p), inner)
+					return proclusBest(ctx, gt, k, int(p), inner)
 				}, lParams)
 				return err
 			},
 			func() error {
 				var err error
 				sspcM, err = bestARIOverParams(gt, func(p float64) (*cluster.Result, error) {
-					return sspcBest(gt, k, core.SchemeM, p, nil, inner)
+					return sspcBest(ctx, gt, k, core.SchemeM, p, nil, inner)
 				}, fig3MValues)
 				return err
 			},
 			func() error {
 				var err error
 				sspcP, err = bestARIOverParams(gt, func(p float64) (*cluster.Result, error) {
-					return sspcBest(gt, k, core.SchemeP, p, nil, inner)
+					return sspcBest(ctx, gt, k, core.SchemeP, p, nil, inner)
 				}, fig3PValues)
 				return err
 			},
@@ -206,7 +211,11 @@ var (
 // l_real = 10 dataset: PROCLUS across 9 values of l versus SSPC across 9
 // values of m and of p (§5.1, Figure 4). Each cell is the best-of-repeats
 // (by the algorithm's own objective) ARI at that parameter value.
-func Figure4(cfg Config) (*Table, error) {
+func Figure4(cfg Config) (*Table, error) { return Figure4Context(context.Background(), cfg) }
+
+// Figure4Context is Figure4 under a context; every cell's fits follow the
+// shared cancellation contract.
+func Figure4Context(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.normalized()
 	n := scaleInt(1000, cfg.Scale, 300)
 	const d, k, lreal = 100, 5, 10
@@ -231,9 +240,9 @@ func Figure4(cfg Config) (*Table, error) {
 	for i := 0; i < 9; i++ {
 		var proclusARI, mARI, pARI float64
 		i := i
-		err := parallelCells(cfg.Workers,
+		err := parallelCells(ctx, cfg.Workers,
 			func() error {
-				pr, err := proclusBest(gt, k, fig4LValues[i], inner)
+				pr, err := proclusBest(ctx, gt, k, fig4LValues[i], inner)
 				if err != nil {
 					return err
 				}
@@ -241,7 +250,7 @@ func Figure4(cfg Config) (*Table, error) {
 				return err
 			},
 			func() error {
-				sm, err := sspcBest(gt, k, core.SchemeM, fig4MValues[i], nil, inner)
+				sm, err := sspcBest(ctx, gt, k, core.SchemeM, fig4MValues[i], nil, inner)
 				if err != nil {
 					return err
 				}
@@ -249,7 +258,7 @@ func Figure4(cfg Config) (*Table, error) {
 				return err
 			},
 			func() error {
-				sp, err := sspcBest(gt, k, core.SchemeP, fig4PValues[i], nil, inner)
+				sp, err := sspcBest(ctx, gt, k, core.SchemeP, fig4PValues[i], nil, inner)
 				if err != nil {
 					return err
 				}
@@ -270,6 +279,12 @@ func Figure4(cfg Config) (*Table, error) {
 // omits): SSPC accuracy and detected-outlier counts as the injected outlier
 // fraction grows from 0% to 25%.
 func OutlierImmunity(cfg Config) (*Table, error) {
+	return OutlierImmunityContext(context.Background(), cfg)
+}
+
+// OutlierImmunityContext is OutlierImmunity under a context; every cell's
+// fits follow the shared cancellation contract.
+func OutlierImmunityContext(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.normalized()
 	n := scaleInt(1000, cfg.Scale, 300)
 	const d, k, lreal = 100, 5, 10
@@ -289,7 +304,7 @@ func OutlierImmunity(cfg Config) (*Table, error) {
 		if gt.Data, err = cfg.shardData(gt.Data); err != nil {
 			return nil, err
 		}
-		res, err := sspcBest(gt, k, core.SchemeM, 0.5, nil, cfg)
+		res, err := sspcBest(ctx, gt, k, core.SchemeM, 0.5, nil, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -14,7 +14,7 @@ import (
 // knowledgeARI runs SSPC once with knowledge sampled under kcfg and returns
 // the ARI with labeled objects removed first — the paper's protocol for the
 // §5.3 experiments.
-func knowledgeARI(gt *synth.GroundTruth, k int, kcfg synth.KnowledgeConfig, runSeed int64, chunkSize int) (float64, error) {
+func knowledgeARI(ctx context.Context, gt *synth.GroundTruth, k int, kcfg synth.KnowledgeConfig, runSeed int64, chunkSize int) (float64, error) {
 	kn, err := synth.SampleKnowledge(gt, kcfg)
 	if err != nil {
 		return 0, err
@@ -25,7 +25,7 @@ func knowledgeARI(gt *synth.GroundTruth, k int, kcfg synth.KnowledgeConfig, runS
 	opts.Seed = runSeed
 	opts.Workers = 1 // repeats carry the concurrency; see sspcBest
 	opts.ChunkSize = chunkSize
-	res, err := core.Run(gt.Data, opts)
+	res, err := core.RunContext(ctx, gt.Data, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -38,12 +38,12 @@ func knowledgeARI(gt *synth.GroundTruth, k int, kcfg synth.KnowledgeConfig, runS
 // median of 10 repeated runs with 10 independent sets of inputs"). The
 // repeats run concurrently; each keeps its historical knowledge and run
 // seeds, so the median is identical for every worker count.
-func medianKnowledgeARI(gt *synth.GroundTruth, k int, kcfg synth.KnowledgeConfig, cfg Config) (float64, error) {
-	vals, err := engine.Run(context.Background(), cfg.Repeats, cfg.Workers, cfg.Seed,
+func medianKnowledgeARI(ctx context.Context, gt *synth.GroundTruth, k int, kcfg synth.KnowledgeConfig, cfg Config) (float64, error) {
+	vals, err := engine.Run(ctx, cfg.Repeats, cfg.Workers, cfg.Seed,
 		func(r int, _ *stats.RNG) (float64, error) {
 			rcfg := kcfg
 			rcfg.Seed = cfg.Seed + int64(1000*r)
-			return knowledgeARI(gt, k, rcfg, cfg.Seed+int64(r), cfg.ChunkSize)
+			return knowledgeARI(ctx, gt, k, rcfg, cfg.Seed+int64(r), cfg.ChunkSize)
 		})
 	if err != nil {
 		return 0, err
@@ -71,7 +71,11 @@ func fig5Dataset(cfg Config) (*synth.GroundTruth, error) {
 // Figure5 regenerates the input-size sweep at full coverage: accuracy of
 // SSPC with 0..8 labeled objects and/or dimensions per cluster on the 1%
 // dimensionality dataset.
-func Figure5(cfg Config) (*Table, error) {
+func Figure5(cfg Config) (*Table, error) { return Figure5Context(context.Background(), cfg) }
+
+// Figure5Context is Figure5 under a context; every fit follows the shared
+// cancellation contract.
+func Figure5Context(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.normalized()
 	gt, err := fig5Dataset(cfg)
 	if err != nil {
@@ -91,7 +95,7 @@ func Figure5(cfg Config) (*Table, error) {
 			if size == 0 {
 				kcfg.Kind = synth.NoKnowledge
 			}
-			a, err := medianKnowledgeARI(gt, 5, kcfg, cfg)
+			a, err := medianKnowledgeARI(ctx, gt, 5, kcfg, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -104,7 +108,11 @@ func Figure5(cfg Config) (*Table, error) {
 
 // Figure6 regenerates the coverage sweep at input size 6: accuracy of SSPC
 // when only a fraction of the classes receive inputs.
-func Figure6(cfg Config) (*Table, error) {
+func Figure6(cfg Config) (*Table, error) { return Figure6Context(context.Background(), cfg) }
+
+// Figure6Context is Figure6 under a context; every fit follows the shared
+// cancellation contract.
+func Figure6Context(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.normalized()
 	gt, err := fig5Dataset(cfg)
 	if err != nil {
@@ -125,7 +133,7 @@ func Figure6(cfg Config) (*Table, error) {
 			if coverage == 0 {
 				kcfg.Kind = synth.NoKnowledge
 			}
-			a, err := medianKnowledgeARI(gt, 5, kcfg, cfg)
+			a, err := medianKnowledgeARI(ctx, gt, 5, kcfg, cfg)
 			if err != nil {
 				return nil, err
 			}

@@ -17,7 +17,11 @@ import (
 // SSPC runs (a) trusting the noisy knowledge and (b) after validating and
 // discarding suspect entries with ValidateKnowledge. Labeled objects are
 // removed before computing the ARI, as in the §5.3 protocol.
-func NoisyInputs(cfg Config) (*Table, error) {
+func NoisyInputs(cfg Config) (*Table, error) { return NoisyInputsContext(context.Background(), cfg) }
+
+// NoisyInputsContext is NoisyInputs under a context; every fit follows the
+// shared cancellation contract.
+func NoisyInputsContext(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.normalized()
 	d := scaleInt(1000, cfg.Scale, 400)
 	gt, err := synth.Generate(synth.Config{
@@ -42,7 +46,7 @@ func NoisyInputs(cfg Config) (*Table, error) {
 		// The repeats are independent (each draws and corrupts its own
 		// knowledge copy); run them concurrently with their historical
 		// seeds, so the medians match the serial protocol exactly.
-		outcomes, err := engine.Run(context.Background(), cfg.Repeats, cfg.Workers, cfg.Seed,
+		outcomes, err := engine.Run(ctx, cfg.Repeats, cfg.Workers, cfg.Seed,
 			func(r int, _ *stats.RNG) (repeatOutcome, error) {
 				// Objects-only knowledge: labeled dimensions would mask the
 				// object corruption entirely (they anchor the grids on their
@@ -63,7 +67,7 @@ func NoisyInputs(cfg Config) (*Table, error) {
 				opts.Workers = 1 // repeats carry the concurrency; see sspcBest
 				opts.ChunkSize = cfg.ChunkSize
 
-				trusting, err := core.Run(gt.Data, opts)
+				trusting, err := core.RunContext(ctx, gt.Data, opts)
 				if err != nil {
 					return repeatOutcome{}, err
 				}
@@ -74,7 +78,7 @@ func NoisyInputs(cfg Config) (*Table, error) {
 					return repeatOutcome{}, err
 				}
 
-				validated, report, err := core.RunValidated(gt.Data, opts, 2)
+				validated, report, err := core.RunValidatedContext(ctx, gt.Data, opts, 2)
 				if err != nil {
 					return repeatOutcome{}, err
 				}

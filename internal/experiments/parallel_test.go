@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sync/atomic"
@@ -21,7 +22,7 @@ func TestBestOfWorkersInvariance(t *testing.T) {
 	}
 	run := func(workers int) *cluster.Result {
 		t.Helper()
-		res, err := bestOf(4, workers, 0, 7, func(s int64) (*cluster.Result, error) {
+		res, err := bestOf(context.Background(), 4, workers, 0, 7, func(s int64) (*cluster.Result, error) {
 			opts := clarans.DefaultOptions(2)
 			opts.Seed = s
 			opts.MaxNeighbor = 40
@@ -44,7 +45,7 @@ func TestBestOfWorkersInvariance(t *testing.T) {
 // silently shrinking the protocol.
 func TestBestOfPropagatesError(t *testing.T) {
 	sentinel := errors.New("cell failed")
-	_, err := bestOf(4, 2, 0, 0, func(s int64) (*cluster.Result, error) {
+	_, err := bestOf(context.Background(), 4, 2, 0, 0, func(s int64) (*cluster.Result, error) {
 		if s == 2 {
 			return nil, sentinel
 		}
@@ -59,7 +60,7 @@ func TestBestOfPropagatesError(t *testing.T) {
 // once and a cell failure propagates.
 func TestParallelCells(t *testing.T) {
 	var ran [5]atomic.Int64
-	err := parallelCells(4,
+	err := parallelCells(context.Background(), 4,
 		func() error { ran[0].Add(1); return nil },
 		func() error { ran[1].Add(1); return nil },
 		func() error { ran[2].Add(1); return nil },
@@ -75,7 +76,7 @@ func TestParallelCells(t *testing.T) {
 		}
 	}
 	sentinel := errors.New("cell failed")
-	err = parallelCells(2,
+	err = parallelCells(context.Background(), 2,
 		func() error { return nil },
 		func() error { return sentinel },
 	)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bicluster"
@@ -26,6 +27,12 @@ import (
 // table is how supervision styles compare, not how projected clusters
 // defeat full-space methods.
 func SupervisionStyles(cfg Config) (*Table, error) {
+	return SupervisionStylesContext(context.Background(), cfg)
+}
+
+// SupervisionStylesContext is SupervisionStyles under a context; every cell's
+// fits follow the shared cancellation contract.
+func SupervisionStylesContext(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.normalized()
 	n := scaleInt(600, cfg.Scale, 200)
 	const d, k, lreal = 20, 3, 16
@@ -62,14 +69,14 @@ func SupervisionStyles(cfg Config) (*Table, error) {
 
 		var copARI, seededARI, constrARI, sspcARI float64
 		size := size
-		err = parallelCells(cfg.Workers,
+		err = parallelCells(ctx, cfg.Workers,
 			func() error {
-				res, err := bestOf(inner.Repeats, inner.Workers, inner.EarlyStop, inner.Seed, func(s int64) (*cluster.Result, error) {
+				res, err := bestOf(ctx, inner.Repeats, inner.Workers, inner.EarlyStop, inner.Seed, func(s int64) (*cluster.Result, error) {
 					opts := copkmeans.DefaultOptions(k)
 					opts.Seed = s
 					opts.Workers = 1
 					opts.ChunkSize = cfg.ChunkSize
-					return copkmeans.Run(gt.Data, cons, opts)
+					return copkmeans.RunContext(ctx, gt.Data, cons, opts)
 				})
 				if err != nil {
 					return err
@@ -78,7 +85,7 @@ func SupervisionStyles(cfg Config) (*Table, error) {
 				return err
 			},
 			func() error {
-				res, err := seedKMeansBest(gt, kn, k, false, inner)
+				res, err := seedKMeansBest(ctx, gt, kn, k, false, inner)
 				if err != nil {
 					return err
 				}
@@ -86,7 +93,7 @@ func SupervisionStyles(cfg Config) (*Table, error) {
 				return err
 			},
 			func() error {
-				res, err := seedKMeansBest(gt, kn, k, true, inner)
+				res, err := seedKMeansBest(ctx, gt, kn, k, true, inner)
 				if err != nil {
 					return err
 				}
@@ -94,7 +101,7 @@ func SupervisionStyles(cfg Config) (*Table, error) {
 				return err
 			},
 			func() error {
-				res, err := sspcBest(gt, k, core.SchemeM, 0.5, kn, inner)
+				res, err := sspcBest(ctx, gt, k, core.SchemeM, 0.5, kn, inner)
 				if err != nil {
 					return err
 				}
@@ -112,14 +119,14 @@ func SupervisionStyles(cfg Config) (*Table, error) {
 
 // seedKMeansBest runs Seeded-/Constrained-KMeans best-of-repeats (by cost),
 // serial inside the cell like sspcBest.
-func seedKMeansBest(gt *synth.GroundTruth, kn *dataset.Knowledge, k int, constrained bool, cfg Config) (*cluster.Result, error) {
-	return bestOf(cfg.Repeats, cfg.Workers, cfg.EarlyStop, cfg.Seed, func(s int64) (*cluster.Result, error) {
+func seedKMeansBest(ctx context.Context, gt *synth.GroundTruth, kn *dataset.Knowledge, k int, constrained bool, cfg Config) (*cluster.Result, error) {
+	return bestOf(ctx, cfg.Repeats, cfg.Workers, cfg.EarlyStop, cfg.Seed, func(s int64) (*cluster.Result, error) {
 		opts := seedkmeans.DefaultOptions(k)
 		opts.Constrained = constrained
 		opts.Seed = s
 		opts.Workers = 1
 		opts.ChunkSize = cfg.ChunkSize
-		return seedkmeans.Run(gt.Data, kn, opts)
+		return seedkmeans.RunContext(ctx, gt.Data, kn, opts)
 	})
 }
 
@@ -130,6 +137,12 @@ func seedKMeansBest(gt *synth.GroundTruth, kn *dataset.Knowledge, k int, constra
 // exponential in the subspace dimensionality, so the comparison lives where
 // all three are feasible).
 func SubspaceBaselines(cfg Config) (*Table, error) {
+	return SubspaceBaselinesContext(context.Background(), cfg)
+}
+
+// SubspaceBaselinesContext is SubspaceBaselines under a context; every cell's
+// fits follow the shared cancellation contract.
+func SubspaceBaselinesContext(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.normalized()
 	n := scaleInt(400, cfg.Scale, 200)
 	const d, k = 10, 3
@@ -154,14 +167,14 @@ func SubspaceBaselines(cfg Config) (*Table, error) {
 		}
 		var cliqueARI, biARI, sspcARI float64
 		lreal := lreal
-		err = parallelCells(cfg.Workers,
+		err = parallelCells(ctx, cfg.Workers,
 			func() error {
 				opts := clique.DefaultOptions()
 				opts.Tau = 0.08
 				opts.MaxClusters = k
 				opts.Workers = 1
 				opts.ChunkSize = cfg.ChunkSize
-				_, res, err := clique.Run(gt.Data, opts)
+				_, res, err := clique.RunContext(ctx, gt.Data, opts)
 				if err != nil {
 					return err
 				}
@@ -169,12 +182,12 @@ func SubspaceBaselines(cfg Config) (*Table, error) {
 				return err
 			},
 			func() error {
-				res, err := bestOf(inner.Repeats, inner.Workers, inner.EarlyStop, inner.Seed, func(s int64) (*cluster.Result, error) {
+				res, err := bestOf(ctx, inner.Repeats, inner.Workers, inner.EarlyStop, inner.Seed, func(s int64) (*cluster.Result, error) {
 					opts := bicluster.DefaultOptions(k, 50)
 					opts.Seed = s
 					opts.Workers = 1
 					opts.ChunkSize = cfg.ChunkSize
-					_, res, err := bicluster.Run(gt.Data, opts)
+					_, res, err := bicluster.RunContext(ctx, gt.Data, opts)
 					return res, err
 				})
 				if err != nil {
@@ -184,7 +197,7 @@ func SubspaceBaselines(cfg Config) (*Table, error) {
 				return err
 			},
 			func() error {
-				res, err := sspcBest(gt, k, core.SchemeM, 0.5, nil, inner)
+				res, err := sspcBest(ctx, gt, k, core.SchemeM, 0.5, nil, inner)
 				if err != nil {
 					return err
 				}

@@ -78,6 +78,14 @@ type node struct {
 // it at the paper's scale (n = 1000, d = 100). Restarts with randomized
 // scan orders run concurrently through the restart engine; see Options.
 func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
+	return RunContext(context.Background(), ds, opts)
+}
+
+// RunContext is Run under a context: cancellation is checked at every restart
+// launch and every merge round (the unit the iteration counter ticks on), so
+// a canceled run returns context.Cause(ctx) — never a partial result. A run
+// that completes is byte-identical to Run.
+func RunContext(ctx context.Context, ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	if ds == nil {
 		return nil, errors.New("harp: nil dataset")
 	}
@@ -107,13 +115,13 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	// boundaries, so alignment would buy no locality while inflating node
 	// chunks past the proposeMerges parallel threshold.
 	intra := engine.SplitBudget(opts.Workers, restarts)
-	results, err := engine.Run(context.Background(), restarts, opts.Workers, opts.Seed,
+	results, err := engine.Run(ctx, restarts, opts.Workers, opts.Seed,
 		func(restart int, rng *stats.RNG) (*cluster.Result, error) {
 			var order []int
 			if opts.Seed != 0 || restart > 0 {
 				order = rng.Perm(n)
 			}
-			return runOnce(ds, opts, order, intra)
+			return runOnce(ctx, ds, opts, order, intra)
 		})
 	if err != nil {
 		return nil, err
@@ -125,7 +133,7 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 // cluster scan order (nil = canonical object order); members always carry
 // original object ids, so only tie-breaking and batch cutoffs depend on it.
 // The merge-proposal scans run on up to intra goroutines.
-func runOnce(ds *dataset.Dataset, opts Options, order []int, intra int) (*cluster.Result, error) {
+func runOnce(ctx context.Context, ds *dataset.Dataset, opts Options, order []int, intra int) (*cluster.Result, error) {
 	n, d := ds.N(), ds.D()
 
 	globalVar := make([]float64, d)
@@ -187,6 +195,9 @@ func runOnce(ds *dataset.Dataset, opts Options, order []int, intra int) (*cluste
 		// mutual proposals are merged in batch (deterministically, in
 		// slice order).
 		for activeCount > opts.K {
+			if err := engine.Cause(ctx); err != nil {
+				return nil, err
+			}
 			iterations++
 			act := activeNodes(nodes)
 			bestPartner := proposeMerges(act, evalMerge, rmin, dmin, intra, opts.ChunkSize)
@@ -223,6 +234,9 @@ func runOnce(ds *dataset.Dataset, opts Options, order []int, intra int) (*cluste
 	// If thresholds bottomed out before reaching K clusters, force-merge
 	// the best remaining pairs (baseline behaviour: Rmin = 0 admits all).
 	for activeCount > opts.K {
+		if err := engine.Cause(ctx); err != nil {
+			return nil, err
+		}
 		act := activeNodes(nodes)
 		bestScore := math.Inf(-1)
 		var ba, bb *node

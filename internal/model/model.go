@@ -37,6 +37,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 )
 
 // Version is the current container format version.
@@ -294,6 +295,9 @@ func Decode(data []byte) (*Model, error) {
 
 // Save encodes the model and writes it to path (0644).
 func (m *Model) Save(path string) error {
+	if err := faults.Check(faults.SiteModelIO); err != nil {
+		return fmt.Errorf("model: save: %w", err)
+	}
 	data, err := m.Encode()
 	if err != nil {
 		return err
@@ -306,6 +310,9 @@ func (m *Model) Save(path string) error {
 
 // Load reads and decodes a model file.
 func Load(path string) (*Model, error) {
+	if err := faults.Check(faults.SiteModelIO); err != nil {
+		return nil, fmt.Errorf("model: load: %w", err)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("model: load: %w", err)

@@ -1,6 +1,7 @@
 package proclus
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/stats"
@@ -109,7 +110,10 @@ func TestAssignPointsCostNonNegative(t *testing.T) {
 	medoids := []int{gt.MembersOfClass(0)[0], gt.MembersOfClass(1)[0]}
 	dims := [][]int{gt.Dims[0], gt.Dims[1]}
 	assign := make([]int, 200)
-	cost := assignPoints(gt.Data, medoids, dims, assign, 1, 0)
+	cost, err := assignPoints(context.Background(), gt.Data, medoids, dims, assign, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cost < 0 {
 		t.Errorf("cost = %v", cost)
 	}

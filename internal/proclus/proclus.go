@@ -144,16 +144,25 @@ func (o Options) normalized(ds *dataset.Dataset) (Options, error) {
 // cost has plateaued for that many consecutive restarts. The result is a
 // pure function of (ds, opts) — Workers and ChunkSize never change it.
 func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
+	return RunContext(context.Background(), ds, opts)
+}
+
+// RunContext is Run under a context: cancellation is checked at every restart
+// launch, every iteration of the medoid-replacement loop, and every chunk
+// boundary of the assignment scan, so a canceled run returns
+// context.Cause(ctx) — never a partial result. A run that completes is
+// byte-identical to Run.
+func RunContext(ctx context.Context, ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 	opts, err := opts.normalized(ds)
 	if err != nil {
 		return nil, err
 	}
 	intra := engine.SplitBudget(opts.Workers, opts.Restarts)
 	// Stream degenerates to Run's fixed fan-out when EarlyStop <= 0.
-	results, err := engine.Stream(context.Background(), opts.Restarts, opts.Workers,
+	results, err := engine.Stream(ctx, opts.Restarts, opts.Workers,
 		opts.Seed, opts.EarlyStop, cluster.BetterResult,
 		func(_ int, rng *stats.RNG) (*cluster.Result, error) {
-			return runOnce(ds, opts, rng, intra)
+			return runOnce(ctx, ds, opts, rng, intra)
 		})
 	if err != nil {
 		return nil, err
@@ -163,7 +172,7 @@ func Run(ds *dataset.Dataset, opts Options) (*cluster.Result, error) {
 
 // runOnce executes one randomized PROCLUS run with its own RNG,
 // parallelizing the chunked point loops across up to intra goroutines.
-func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*cluster.Result, error) {
+func runOnce(ctx context.Context, ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*cluster.Result, error) {
 	n := ds.N()
 
 	candidates := greedyPiercing(ds, rng, opts)
@@ -184,9 +193,15 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*clu
 	stall := 0
 	iterations := 0
 	for iterations < opts.MaxIterations && stall < opts.MaxStall {
+		if err := engine.Cause(ctx); err != nil {
+			return nil, err
+		}
 		iterations++
 		dims := findDimensions(ds, medoids, opts, intra)
-		cost := assignPoints(ds, medoids, dims, assign, intra, opts.ChunkSize)
+		cost, err := assignPoints(ctx, ds, medoids, dims, assign, intra, opts.ChunkSize)
+		if err != nil {
+			return nil, err
+		}
 		if cost < bestCost {
 			bestCost = cost
 			copy(bestAssign, assign)
@@ -229,11 +244,17 @@ func runOnce(ds *dataset.Dataset, opts Options, rng *stats.RNG, intra int) (*clu
 
 	// Refinement phase: redetermine dimensions from the final clusters
 	// (instead of localities) and reassign once.
+	if err := engine.Cause(ctx); err != nil {
+		return nil, err
+	}
 	if bestDims == nil {
 		bestDims = findDimensions(ds, bestMedoids, opts, intra)
 	}
 	refined := refineDimensions(ds, bestMedoids, bestAssign, opts, intra)
-	finalCost := assignPoints(ds, bestMedoids, refined, bestAssign, intra, opts.ChunkSize)
+	finalCost, err := assignPoints(ctx, ds, bestMedoids, refined, bestAssign, intra, opts.ChunkSize)
+	if err != nil {
+		return nil, err
+	}
 	if opts.OutlierHandling {
 		markOutliers(ds, bestMedoids, refined, bestAssign, intra, opts.ChunkSize)
 	}
@@ -442,14 +463,14 @@ func distributeDimensions(X [][]float64, d int, opts Options) [][]int {
 // cost is a map-reduce with one unit of work per cluster, folded in
 // cluster-index order so the floating-point sum is byte-identical to the
 // serial loop for every workers/chunkSize value.
-func assignPoints(ds *dataset.Dataset, medoids []int, dims [][]int, assign []int, workers, chunkSize int) float64 {
+func assignPoints(ctx context.Context, ds *dataset.Dataset, medoids []int, dims [][]int, assign []int, workers, chunkSize int) (float64, error) {
 	n := ds.N()
 	k := len(medoids)
 	medoidRows := make([][]float64, k)
 	for i, m := range medoids {
 		medoidRows[i] = ds.Row(m)
 	}
-	engine.ParallelChunks(n, chunkSize, workers, func(_, lo, hi int) {
+	if err := engine.ParallelChunksCtx(ctx, n, chunkSize, workers, func(_, lo, hi int) {
 		for p := lo; p < hi; p++ {
 			best := math.Inf(1)
 			arg := 0
@@ -461,13 +482,15 @@ func assignPoints(ds *dataset.Dataset, medoids []int, dims [][]int, assign []int
 			}
 			assign[p] = arg
 		}
-	})
+	}); err != nil {
+		return 0, err
+	}
 	// Cost: (1/n) Σ_i n_i w_i with w_i the mean segmental distance of the
 	// members to their centroid over the cluster's dimensions. Each cluster
 	// sums its members in ascending point order; an empty or dimensionless
 	// cluster contributes exactly 0.0, which leaves the non-negative running
 	// sum bit-identical to skipping it.
-	cost := engine.MapChunks(k, 1, workers, func(_, lo, hi int) float64 {
+	cost, err := engine.MapChunksCtx(ctx, k, 1, workers, func(_, lo, hi int) float64 {
 		sum := 0.0
 		for i := lo; i < hi; i++ {
 			var members []int
@@ -486,7 +509,10 @@ func assignPoints(ds *dataset.Dataset, medoids []int, dims [][]int, assign []int
 		}
 		return sum
 	}, func(acc, chunk float64) float64 { return acc + chunk })
-	return cost / float64(n)
+	if err != nil {
+		return 0, err
+	}
+	return cost / float64(n), nil
 }
 
 // refineDimensions redoes dimension selection using the actual clusters in

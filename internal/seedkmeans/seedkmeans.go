@@ -71,6 +71,14 @@ func DefaultOptions(k int) Options { return Options{K: k, MaxIterations: 100} }
 // the cluster with the same index; clusters without seeds start from random
 // objects.
 func Run(ds *dataset.Dataset, kn *dataset.Knowledge, opts Options) (*cluster.Result, error) {
+	return RunContext(context.Background(), ds, kn, opts)
+}
+
+// RunContext is Run under a context: cancellation is checked at every restart
+// launch, every k-means iteration, and every chunk boundary of the assignment
+// scan, so a canceled run returns context.Cause(ctx) — never a partial
+// result. A run that completes is byte-identical to Run.
+func RunContext(ctx context.Context, ds *dataset.Dataset, kn *dataset.Knowledge, opts Options) (*cluster.Result, error) {
 	if ds == nil {
 		return nil, errors.New("seedkmeans: nil dataset")
 	}
@@ -110,10 +118,10 @@ func Run(ds *dataset.Dataset, kn *dataset.Knowledge, opts Options) (*cluster.Res
 	}
 
 	intra := engine.SplitBudget(opts.Workers, restarts)
-	results, err := engine.Stream(context.Background(), restarts, opts.Workers, opts.Seed,
+	results, err := engine.Stream(ctx, restarts, opts.Workers, opts.Seed,
 		opts.EarlyStop, cluster.BetterResult,
 		func(_ int, rng *stats.RNG) (*cluster.Result, error) {
-			return runOnce(ds, opts, seedMeans, clamped, rng, intra)
+			return runOnce(ctx, ds, opts, seedMeans, clamped, rng, intra)
 		})
 	if err != nil {
 		return nil, err
@@ -123,7 +131,7 @@ func Run(ds *dataset.Dataset, kn *dataset.Knowledge, opts Options) (*cluster.Res
 
 // runOnce is one restart: seed the centroids, then alternate the chunked
 // assignment scan with the serial update step until the centers stop moving.
-func runOnce(ds *dataset.Dataset, opts Options, seedMeans [][]float64, clamped map[int]int,
+func runOnce(ctx context.Context, ds *dataset.Dataset, opts Options, seedMeans [][]float64, clamped map[int]int,
 	rng *stats.RNG, workers int) (*cluster.Result, error) {
 	n, d := ds.N(), ds.D()
 
@@ -143,13 +151,16 @@ func runOnce(ds *dataset.Dataset, opts Options, seedMeans [][]float64, clamped m
 	var cost float64
 	iterations := 0
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if err := engine.Cause(ctx); err != nil {
+			return nil, err
+		}
 		iterations++
 		// Assignment scan, chunked over fixed object ranges with disjoint
 		// writes (assign[i], dist[i]); the cost sum is folded afterwards in
 		// ascending object order — the exact addition sequence of the
 		// historical serial loop, so the result is byte-identical for every
 		// Workers/ChunkSize value.
-		engine.ParallelChunks(n, opts.ChunkSize, workers, func(_, lo, hi int) {
+		if err := engine.ParallelChunksCtx(ctx, n, opts.ChunkSize, workers, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				if c, ok := clamped[i]; ok {
 					assign[i] = c
@@ -168,7 +179,9 @@ func runOnce(ds *dataset.Dataset, opts Options, seedMeans [][]float64, clamped m
 				assign[i] = arg
 				dist[i] = best
 			}
-		})
+		}); err != nil {
+			return nil, err
+		}
 		cost = 0
 		for i := 0; i < n; i++ {
 			cost += dist[i]

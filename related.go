@@ -1,6 +1,7 @@
 package sspc
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/bicluster"
@@ -32,6 +33,12 @@ func CLIQUE(ds *Dataset, opts CLIQUEOptions) ([]Subspace, *Result, error) {
 	return clique.Run(ds, opts)
 }
 
+// CLIQUEContext is CLIQUE under a context; see "Cancellation" in the package
+// documentation for the shared contract.
+func CLIQUEContext(ctx context.Context, ds *Dataset, opts CLIQUEOptions) ([]Subspace, *Result, error) {
+	return clique.RunContext(ctx, ds, opts)
+}
+
 // BiclusterOptions configures the Cheng–Church δ-bicluster search.
 type BiclusterOptions = bicluster.Options
 
@@ -49,6 +56,12 @@ func BiclusterDefaults(k int, delta float64) BiclusterOptions {
 // partition scored by mean residue (lower is better).
 func Biclusters(ds *Dataset, opts BiclusterOptions) ([]Bicluster, *Result, error) {
 	return bicluster.Run(ds, opts)
+}
+
+// BiclustersContext is Biclusters under a context; see "Cancellation" in the
+// package documentation for the shared contract.
+func BiclustersContext(ctx context.Context, ds *Dataset, opts BiclusterOptions) ([]Bicluster, *Result, error) {
+	return bicluster.RunContext(ctx, ds, opts)
 }
 
 // Constraints holds must-link / cannot-link pairs for COP-KMeans.
@@ -75,6 +88,12 @@ func COPKMeans(ds *Dataset, cons *Constraints, opts COPKMeansOptions) (*Result, 
 	return copkmeans.Run(ds, cons, opts)
 }
 
+// COPKMeansContext is COPKMeans under a context; see "Cancellation" in the
+// package documentation for the shared contract.
+func COPKMeansContext(ctx context.Context, ds *Dataset, cons *Constraints, opts COPKMeansOptions) (*Result, error) {
+	return copkmeans.RunContext(ctx, ds, cons, opts)
+}
+
 // KnowledgeReport is the outcome of validating possibly-incorrect inputs
 // (the paper's §6 extension).
 type KnowledgeReport = core.KnowledgeReport
@@ -90,6 +109,13 @@ func ValidateKnowledge(ds *Dataset, kn *Knowledge, opts Options, objectTolerance
 // SSPC with the cleaned inputs.
 func ClusterValidated(ds *Dataset, opts Options, objectTolerance float64) (*Result, *KnowledgeReport, error) {
 	return core.RunValidated(ds, opts, objectTolerance)
+}
+
+// ClusterValidatedContext is ClusterValidated under a context: validation is
+// cheap and runs to completion; the fit itself follows the shared
+// cancellation contract (see "Cancellation" in the package documentation).
+func ClusterValidatedContext(ctx context.Context, ds *Dataset, opts Options, objectTolerance float64) (*Result, *KnowledgeReport, error) {
+	return core.RunValidatedContext(ctx, ds, opts, objectTolerance)
 }
 
 // FuzzyKnowledge carries confidence-weighted inputs (§6 extension:
@@ -109,6 +135,12 @@ func SeedKMeansDefaults(k int) SeedKMeansOptions { return seedkmeans.DefaultOpti
 // Options.Constrained is set) — Basu et al., ICML 2002.
 func SeedKMeans(ds *Dataset, kn *Knowledge, opts SeedKMeansOptions) (*Result, error) {
 	return seedkmeans.Run(ds, kn, opts)
+}
+
+// SeedKMeansContext is SeedKMeans under a context; see "Cancellation" in the
+// package documentation for the shared contract.
+func SeedKMeansContext(ctx context.Context, ds *Dataset, kn *Knowledge, opts SeedKMeansOptions) (*Result, error) {
+	return seedkmeans.RunContext(ctx, ds, kn, opts)
 }
 
 // Supervision merges every supervision form the paper's §2 survey

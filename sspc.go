@@ -88,6 +88,18 @@
 // records the measured effect of changes to these paths in committed
 // BENCH_<n>.json baselines.
 //
+// # Cancellation
+//
+// Every fit has a context-aware twin (ClusterContext, PROCLUSContext, …)
+// with one shared contract: cancellation is observed at restart launches,
+// iteration boundaries, and chunk boundaries of the hot scans, so a canceled
+// fit returns the context's cause error — never a partial result — within a
+// bounded amount of work, and leaks no goroutines. A fit that runs to
+// completion is byte-identical to its context-free twin; the checks observe
+// only the context, never the data. See ARCHITECTURE.md, "The cancellation
+// contract", and docs/OPERATIONS.md for the serving-side deadline and
+// cancellation knobs.
+//
 // # Serving fitted models
 //
 // A fitted result from SSPC, PROCLUS, or DOC carries its per-cluster
@@ -103,6 +115,7 @@
 package sspc
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/clarans"
@@ -244,6 +257,12 @@ func DefaultOptions(k int) Options { return core.DefaultOptions(k) }
 // Cluster runs SSPC on the dataset.
 func Cluster(ds *Dataset, opts Options) (*Result, error) { return core.Run(ds, opts) }
 
+// ClusterContext is Cluster under a context; see "Cancellation" in the
+// package documentation for the shared contract.
+func ClusterContext(ctx context.Context, ds *Dataset, opts Options) (*Result, error) {
+	return core.RunContext(ctx, ds, opts)
+}
+
 // PROCLUSOptions configures the PROCLUS baseline; see PROCLUSDefaults.
 type PROCLUSOptions = proclus.Options
 
@@ -254,6 +273,12 @@ func PROCLUSDefaults(k, l int) PROCLUSOptions { return proclus.DefaultOptions(k,
 // PROCLUS runs the PROCLUS baseline (Aggarwal et al., SIGMOD 1999).
 func PROCLUS(ds *Dataset, opts PROCLUSOptions) (*Result, error) { return proclus.Run(ds, opts) }
 
+// PROCLUSContext is PROCLUS under a context; see "Cancellation" in the
+// package documentation for the shared contract.
+func PROCLUSContext(ctx context.Context, ds *Dataset, opts PROCLUSOptions) (*Result, error) {
+	return proclus.RunContext(ctx, ds, opts)
+}
+
 // HARPOptions configures the HARP baseline; see HARPDefaults.
 type HARPOptions = harp.Options
 
@@ -262,6 +287,12 @@ func HARPDefaults(k int) HARPOptions { return harp.DefaultOptions(k) }
 
 // HARP runs the HARP baseline (Yip et al., TKDE 2004).
 func HARP(ds *Dataset, opts HARPOptions) (*Result, error) { return harp.Run(ds, opts) }
+
+// HARPContext is HARP under a context; see "Cancellation" in the package
+// documentation for the shared contract.
+func HARPContext(ctx context.Context, ds *Dataset, opts HARPOptions) (*Result, error) {
+	return harp.RunContext(ctx, ds, opts)
+}
 
 // CLARANSOptions configures the CLARANS reference; see CLARANSDefaults.
 type CLARANSOptions = clarans.Options
@@ -272,6 +303,12 @@ func CLARANSDefaults(k int) CLARANSOptions { return clarans.DefaultOptions(k) }
 // CLARANS runs the non-projected CLARANS reference (Ng & Han, VLDB 1994).
 func CLARANS(ds *Dataset, opts CLARANSOptions) (*Result, error) { return clarans.Run(ds, opts) }
 
+// CLARANSContext is CLARANS under a context; see "Cancellation" in the
+// package documentation for the shared contract.
+func CLARANSContext(ctx context.Context, ds *Dataset, opts CLARANSOptions) (*Result, error) {
+	return clarans.RunContext(ctx, ds, opts)
+}
+
 // DOCOptions configures the DOC / FastDOC baseline; see DOCDefaults.
 type DOCOptions = doc.Options
 
@@ -281,6 +318,12 @@ func DOCDefaults(k int, w float64) DOCOptions { return doc.DefaultOptions(k, w) 
 // DOC runs the Monte-Carlo DOC baseline (Procopiuc et al., SIGMOD 2002).
 // Set Options.Fast for the FastDOC heuristic.
 func DOC(ds *Dataset, opts DOCOptions) (*Result, error) { return doc.Run(ds, opts) }
+
+// DOCContext is DOC under a context; see "Cancellation" in the package
+// documentation for the shared contract.
+func DOCContext(ctx context.Context, ds *Dataset, opts DOCOptions) (*Result, error) {
+	return doc.RunContext(ctx, ds, opts)
+}
 
 // ARI computes the Adjusted Rand Index in the exact form of the paper's
 // Equation 5. Outliers (−1) on either side are treated as singletons.
